@@ -1,0 +1,61 @@
+// Figure 4 — three concurrent BTIO instances, process count swept over
+// {16, 64, 256}, under vanilla MPI-IO, collective I/O and DualPar.
+//
+// Paper shape: vanilla collapses (request size shrinks to tens of bytes as
+// the process count grows — 40 B at 256 procs); collective I/O and DualPar
+// gain up to 24x and 35x; collective's advantage *shrinks* with more
+// processes (its per-call exchange grows), DualPar keeps scaling.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "wl/workloads.hpp"
+
+using namespace dpar;
+using bench::Variant;
+
+namespace {
+
+double run_btio(std::uint32_t procs, Variant v, std::uint64_t scale) {
+  harness::Testbed tb(bench::paper_config());
+  const std::uint32_t instances = 3;
+  // Class C is 6.8 GB per instance; tiny vanilla requests make full scale
+  // infeasible to simulate, so the data volume is scaled further for this
+  // bench while request sizes stay exact (10240/procs bytes).
+  const std::uint64_t per_instance = (6800ull << 20) / scale / 16;
+  std::vector<mpi::Job*> jobs;
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    wl::BtioConfig cfg;
+    cfg.total_bytes = per_instance;
+    cfg.write_steps = 10;
+    cfg.read_back = true;
+    cfg.collective = (v == Variant::kCollective);
+    cfg.file = tb.create_file("btio" + std::to_string(i), cfg.total_bytes * 2);
+    jobs.push_back(&tb.add_job("btio" + std::to_string(i), procs,
+                               bench::driver_for(tb, v),
+                               [cfg](std::uint32_t) { return wl::make_btio(cfg); },
+                               bench::policy_for(v)));
+  }
+  tb.run();
+  return tb.system_throughput_mbs();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t scale = bench::scale_divisor(argc, argv);
+  std::printf("Figure 4 reproduction (3 concurrent BTIO, scale 1/%llu of class C/16)\n",
+              static_cast<unsigned long long>(scale));
+  bench::Table t("Fig 4: system I/O throughput (MB/s), 3 concurrent BTIO");
+  t.set_headers({"procs", "vanilla", "collective", "DualPar", "coll/vanilla",
+                 "DP/vanilla"});
+  for (std::uint32_t procs : {16u, 64u, 256u}) {
+    const double a = run_btio(procs, Variant::kVanilla, scale);
+    const double b = run_btio(procs, Variant::kCollective, scale);
+    const double c = run_btio(procs, Variant::kDualPar, scale);
+    t.add_row(std::to_string(procs), {a, b, c, b / a, c / a}, 1);
+  }
+  t.add_note("paper: gains up to 24x (collective) and 35x (DualPar) over vanilla;"
+             " collective's edge shrinks as procs grow, DualPar's keeps growing");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) of the simulator's hot primitives:
+// event-engine throughput, disk-scheduler operations, range-set bookkeeping,
+// striping decomposition, and end-to-end simulated-seconds-per-wall-second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/rangeset.hpp"
+#include "disk/device.hpp"
+#include "disk/scheduler.hpp"
+#include "harness/testbed.hpp"
+#include "pfs/layout.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "wl/workloads.hpp"
+
+using namespace dpar;
+
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) eng.after(i, [] {});
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineSelfChaining(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+      if (++depth < 1000) eng.after(1, chain);
+    };
+    eng.after(1, chain);
+    eng.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineSelfChaining);
+
+void BM_CfqEnqueueDispatch(benchmark::State& state) {
+  const auto contexts = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto sched = disk::make_cfq_scheduler();
+    sim::Rng rng(7);
+    for (int i = 0; i < 512; ++i) {
+      disk::Request r;
+      r.id = static_cast<std::uint64_t>(i);
+      r.lba = rng.uniform(1 << 24);
+      r.sectors = 32;
+      r.context = rng.uniform(contexts);
+      sched->enqueue(std::move(r), 0);
+    }
+    std::uint64_t head = 0;
+    sim::Time now = 0;
+    while (sched->pending() > 0) {
+      auto d = sched->next(head, now);
+      if (d.kind == disk::Decision::Kind::kWaitUntil) {
+        now = d.wait_until;
+        continue;
+      }
+      if (d.kind == disk::Decision::Kind::kIdle) break;
+      head = d.request.end_lba();
+      sched->completed(d.request, now);
+      now += sim::usec(100);
+    }
+    benchmark::DoNotOptimize(head);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_CfqEnqueueDispatch)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_RangeSetAddCovers(benchmark::State& state) {
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    cache::RangeSet rs;
+    for (int i = 0; i < 256; ++i) {
+      const std::uint64_t b = rng.uniform(1 << 20);
+      rs.add(b, b + 4096);
+    }
+    benchmark::DoNotOptimize(rs.covers(1000, 5000));
+    benchmark::DoNotOptimize(rs.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RangeSetAddCovers);
+
+void BM_StripeDecompose(benchmark::State& state) {
+  pfs::StripeLayout layout{64 * 1024, 9};
+  for (auto _ : state) {
+    std::vector<std::vector<pfs::ServerRun>> per_server;
+    pfs::decompose_segment(layout, pfs::Segment{12345, 8 << 20}, per_server);
+    benchmark::DoNotOptimize(per_server.size());
+  }
+}
+BENCHMARK(BM_StripeDecompose);
+
+/// End-to-end: how much simulated work one wall-clock iteration buys.
+void BM_EndToEndMpiIoTest(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::TestbedConfig cfg;
+    cfg.data_servers = 9;
+    cfg.compute_nodes = 4;
+    harness::Testbed tb(cfg);
+    wl::MpiIoTestConfig mc;
+    mc.file_size = 16 << 20;
+    mc.file = tb.create_file("f", mc.file_size);
+    mc.request_size = 16 * 1024;
+    auto& job = tb.add_job("m", 64, tb.dualpar(),
+                           [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
+                           dualpar::Policy::kForcedDataDriven);
+    const std::uint64_t events = tb.run();
+    benchmark::DoNotOptimize(job.completion_time());
+    state.counters["events"] = static_cast<double>(events);
+  }
+}
+BENCHMARK(BM_EndToEndMpiIoTest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

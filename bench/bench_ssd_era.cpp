@@ -1,0 +1,67 @@
+// Extension: is DualPar a disk-era optimization?
+//
+// The paper's whole premise is the order-of-magnitude gap between random and
+// sequential service on rotating disks. Replacing every server's RAID pair
+// with 2012-class SSDs (uniform ~50 µs access, no rotational penalty) asks
+// how much of the benefit survives. Expected: vanilla recovers massively on
+// the small-random workloads, and DualPar's advantage shrinks toward its
+// residual sources (request-count reduction and round-trip batching).
+#include <cstdio>
+
+#include "harness.hpp"
+#include "wl/workloads.hpp"
+
+using namespace dpar;
+using bench::Variant;
+
+namespace {
+
+double run(const std::string& workload, Variant v, bool ssd, std::uint64_t scale) {
+  harness::TestbedConfig cfg = bench::paper_config();
+  if (ssd) cfg.disk = disk::ssd_params();
+  harness::Testbed tb(cfg);
+  mpi::Job::ProgramFactory factory;
+  if (workload == "mpi-io-test") {
+    wl::MpiIoTestConfig c;
+    c.file_size = (2ull << 30) / scale;
+    c.file = tb.create_file("f", c.file_size);
+    c.request_size = 16 * 1024;
+    c.collective = (v == Variant::kCollective);
+    factory = [c](std::uint32_t) { return wl::make_mpi_io_test(c); };
+  } else {  // noncontig
+    wl::NoncontigConfig c;
+    c.columns = 64;
+    c.elmt_count = 128;
+    c.rows = (1ull << 30) / scale / (c.columns * c.elmt_count * 4);
+    c.collective = (v == Variant::kCollective);
+    c.file = tb.create_file("f", c.columns * c.elmt_count * 4 * c.rows);
+    factory = [c](std::uint32_t) { return wl::make_noncontig(c); };
+  }
+  mpi::Job& job = tb.add_job(workload, 64, bench::driver_for(tb, v), factory,
+                             bench::policy_for(v));
+  tb.run();
+  return tb.job_throughput_mbs(job);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t scale = bench::scale_divisor(argc, argv);
+  std::printf("Extension: DualPar on SSD-backed servers (scale 1/%llu)\n",
+              static_cast<unsigned long long>(scale));
+  for (const std::string w : {"mpi-io-test", "noncontig"}) {
+    bench::Table t(w + " read throughput (MB/s): 7200-RPM RAID vs SSD servers");
+    t.set_headers({"medium", "vanilla", "collective", "DualPar", "DP/vanilla"});
+    for (bool ssd : {false, true}) {
+      const double a = run(w, Variant::kVanilla, ssd, scale);
+      const double b = run(w, Variant::kCollective, ssd, scale);
+      const double c = run(w, Variant::kDualPar, ssd, scale);
+      t.add_row(ssd ? "SSD" : "disk", {a, b, c, c / a}, 1);
+    }
+    t.print();
+  }
+  std::printf("\nThe service-order gap the paper exploits is mechanical; on "
+              "SSDs the residual gains come from fewer, larger requests and "
+              "fewer synchronous round trips.\n");
+  return 0;
+}

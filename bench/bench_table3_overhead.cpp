@@ -1,0 +1,68 @@
+// Table III — worst-case overhead: a program whose every next request
+// depends on the data just read, so pre-execution mis-predicts everything.
+// All prefetched data is wasted; DualPar must detect the mis-prefetching and
+// turn the data-driven mode off after a bounded number of cycles.
+//
+// Paper shape: execution-time increase stays small (7.2% at a 4 MB cache) —
+// a one-time overhead because the high mis-prefetch ratio latches the mode
+// off.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "wl/workloads.hpp"
+
+using namespace dpar;
+
+namespace {
+
+struct Result {
+  double seconds;
+  bool latched;
+  std::uint64_t cycles;
+};
+
+Result run_dependent(std::uint64_t quota, std::uint64_t scale) {
+  harness::TestbedConfig cfg = bench::paper_config();
+  if (quota > 0) cfg.dualpar.cache_quota = quota;
+  harness::Testbed tb(cfg);
+  wl::DependentConfig dc;
+  dc.file_size = (2ull << 30) / scale;
+  dc.file = tb.create_file("dep.dat", dc.file_size);
+  dc.request_size = 64 * 1024;
+  dc.requests = dc.file_size / dc.request_size / 4;
+  mpi::Job& job =
+      quota == 0 ? tb.add_job("dep", 8, tb.vanilla(),
+                              [dc](std::uint32_t) { return wl::make_dependent(dc); },
+                              dualpar::Policy::kForcedNormal)
+                 : tb.add_job("dep", 8, tb.dualpar(),
+                              [dc](std::uint32_t) { return wl::make_dependent(dc); },
+                              dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  return Result{sim::to_seconds(job.completion_time() - job.start_time()),
+                quota > 0 && tb.emc().latched_off(job.id()),
+                tb.dualpar().stats().cycles};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t scale = bench::scale_divisor(argc, argv);
+  std::printf("Table III reproduction (data-dependent reads; all prefetches "
+              "wasted; scale 1/%llu)\n", static_cast<unsigned long long>(scale));
+  const Result base = run_dependent(0, scale);
+  bench::Table t("Table III: execution time (s) of an unpredictable program");
+  t.set_headers({"config", "time (s)", "overhead %", "mode latched off", "cycles"});
+  t.add_text_row("no DualPar", {std::to_string(base.seconds).substr(0, 6), "-", "-", "-"});
+  for (std::uint64_t kb : {512u, 1024u, 2048u, 4096u}) {
+    const Result r = run_dependent(kb * 1024ull, scale);
+    char time_s[32], ovh[32];
+    std::snprintf(time_s, sizeof time_s, "%.2f", r.seconds);
+    std::snprintf(ovh, sizeof ovh, "%.1f%%", (r.seconds / base.seconds - 1.0) * 100.0);
+    t.add_text_row("DualPar, cache " + std::to_string(kb) + " KB",
+                   {time_s, ovh, r.latched ? "yes" : "NO", std::to_string(r.cycles)});
+  }
+  t.add_note("paper: worst-case increase is small (7.2% at 4 MB cache) and "
+             "one-time — the mis-prefetch gate turns the mode off");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared harness for the paper-reproduction benches: the paper's testbed
+// configuration, driver/variant selection, table formatting, and scaling.
+//
+// Every bench accepts `--full` to run at the paper's data sizes; the default
+// divides file sizes by DPAR_SCALE (env, default 16) so the whole suite runs
+// in seconds while preserving every trend (request sizes, process counts and
+// thresholds are never scaled — only total data volume).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+
+namespace dpar::bench {
+
+enum class Variant { kVanilla, kCollective, kDualPar, kPreexec };
+
+const char* variant_name(Variant v);
+mpi::IoDriver& driver_for(harness::Testbed& tb, Variant v);
+dualpar::Policy policy_for(Variant v);
+
+/// The §V platform: 9 data servers (RAID-0 pairs, CFQ), one metadata server,
+/// 4 compute nodes with 48 cores, 64 KB striping, Gigabit Ethernet.
+harness::TestbedConfig paper_config();
+
+/// Data-size divisor: 1 with --full, else DPAR_SCALE env (default 16).
+std::uint64_t scale_divisor(int argc, char** argv);
+
+/// Simple aligned table with a title, headers, numeric rows and footnotes.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+  void set_headers(std::vector<std::string> headers) { headers_ = std::move(headers); }
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 1);
+  void add_text_row(const std::string& label, const std::vector<std::string>& cells);
+  void add_note(const std::string& note) { notes_.push_back(note); }
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// Count service-order direction reversals in a trace window — the
+/// quantitative signature of Figs 1(c)/1(d) and 6(a)/6(b) ("short sequences
+/// growing in opposite directions" vs "moving mostly in one direction").
+std::uint64_t trace_reversals(const std::vector<disk::TraceEvent>& events);
+
+/// Render a small LBN-vs-time sample of a trace window, blktrace style.
+void print_trace_sample(const std::string& title,
+                        const std::vector<disk::TraceEvent>& events,
+                        std::size_t max_lines = 16);
+
+}  // namespace dpar::bench

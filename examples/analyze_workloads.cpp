@@ -1,0 +1,79 @@
+// Characterize every built-in benchmark's access pattern without running a
+// simulation — the tool version of the paper's §V-A benchmark descriptions
+// ("These benchmarks cover a large spectrum of access behaviors: from
+// sequential access among processes to non-sequential access, from read
+// access to write access, from well-aligned requests to requests of
+// different sizes").
+//
+//   $ ./analyze_workloads
+#include <cstdio>
+
+#include "wl/analyze.hpp"
+#include "wl/workloads.hpp"
+
+using namespace dpar;
+
+int main() {
+  const std::uint32_t nprocs = 64;
+  const std::uint32_t rank = 3;
+
+  std::printf("Access patterns as seen by rank %u of %u\n", rank, nprocs);
+
+  {
+    wl::DemoConfig c;
+    c.file_size = 256 << 20;
+    c.segment_size = 4096;
+    auto prog = wl::make_demo(c);
+    std::printf("\ndemo (4 KB segments):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::MpiIoTestConfig c;
+    c.file_size = 256 << 20;
+    auto prog = wl::make_mpi_io_test(c);
+    std::printf("\nmpi-io-test (16 KB, barrier per call):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::HpioConfig c;
+    auto prog = wl::make_hpio(c);
+    std::printf("\nhpio (32 KB regions, 1 KB spacing):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::IorConfig c;
+    c.file_size = 1ull << 30;
+    auto prog = wl::make_ior(c);
+    std::printf("\nior-mpi-io (32 KB within a private scope):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::NoncontigConfig c;
+    c.rows = 4096;
+    auto prog = wl::make_noncontig(c);
+    std::printf("\nnoncontig (512 B column elements):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::S3asimConfig c;
+    c.queries = 8;
+    auto prog = wl::make_s3asim(c);
+    std::printf("\nS3asim (variable 100 B..100 KB):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::BtioConfig c;
+    c.total_bytes = 64 << 20;
+    auto prog = wl::make_btio(c);
+    std::printf("\nBTIO (%u B cells at 64 procs):\n%s", 10240 / nprocs,
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  {
+    wl::DependentConfig c;
+    c.requests = 500;
+    auto prog = wl::make_dependent(c);
+    std::printf("\ndependent reads (Table III adversary):\n%s",
+                wl::describe(wl::analyze(*prog, rank, nprocs)).c_str());
+  }
+  return 0;
+}

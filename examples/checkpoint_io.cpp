@@ -1,0 +1,68 @@
+// Checkpoint dump scenario — the data-intensive pattern the paper's
+// introduction motivates (astrophysics/climate codes writing periodic
+// snapshots).
+//
+// A 64-rank solver alternates compute steps with checkpoint writes of
+// interleaved tiny cells (the BTIO pattern). The example runs the same
+// application under vanilla MPI-IO and DualPar and shows where the time
+// went: DualPar absorbs the cells into the global cache and writes back
+// sorted, merged batches.
+//
+//   $ ./checkpoint_io
+#include <cstdio>
+
+#include "harness/testbed.hpp"
+#include "wl/workloads.hpp"
+
+using namespace dpar;
+
+namespace {
+
+void run(const char* label, bool use_dualpar) {
+  harness::Testbed tb;
+
+  wl::BtioConfig cfg;
+  cfg.total_bytes = 96ull << 20;   // total checkpoint volume
+  cfg.write_steps = 12;            // one dump per simulated timestep
+  cfg.read_back = false;           // restart verification off for this demo
+  cfg.compute_per_step = sim::msec(80);
+  cfg.file = tb.create_file("checkpoint.dat", cfg.total_bytes * 2);
+
+  mpi::IoDriver& driver = use_dualpar ? static_cast<mpi::IoDriver&>(tb.dualpar())
+                                      : static_cast<mpi::IoDriver&>(tb.vanilla());
+  mpi::Job& job = tb.add_job("solver", 64, driver,
+                             [cfg](std::uint32_t) { return wl::make_btio(cfg); },
+                             use_dualpar ? dualpar::Policy::kForcedDataDriven
+                                         : dualpar::Policy::kForcedNormal);
+  tb.run();
+
+  const double total = sim::to_seconds(job.completion_time() - job.start_time());
+  const double io = sim::to_seconds(job.total_io_time()) / job.nprocs();
+  const double compute = sim::to_seconds(job.total_compute_time()) / job.nprocs();
+  std::printf("%-10s  total %6.2f s   per-rank I/O %6.2f s   compute %5.2f s   "
+              "throughput %7.1f MB/s\n",
+              label, total, io, compute, tb.job_throughput_mbs(job));
+  if (use_dualpar) {
+    const auto& st = tb.dualpar().stats();
+    std::printf("            DualPar: %llu data-driven cycles, %llu MB written "
+                "back in sorted batches, %llu KB of holes read to merge runs\n",
+                static_cast<unsigned long long>(st.cycles),
+                static_cast<unsigned long long>(st.writeback_bytes >> 20),
+                static_cast<unsigned long long>(st.hole_read_bytes >> 10));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("checkpoint_io: 64 ranks dumping 96 MB checkpoints of %u-byte "
+              "cells every timestep\n\n",
+              10240 / 64);
+  run("vanilla", false);
+  run("DualPar", true);
+  std::printf("\nThe per-rank cells are %u bytes; vanilla MPI-IO pushes them to "
+              "the servers one at a time, DualPar buffers a cache quota per "
+              "rank and flushes file-ordered batches.\n",
+              10240 / 64);
+  return 0;
+}

@@ -1,0 +1,272 @@
+#include "cache/global_cache.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dpar::cache {
+
+GlobalCache::GlobalCache(sim::Engine& eng, net::Network& net,
+                         std::vector<net::NodeId> home_nodes, CacheParams params)
+    : eng_(eng), net_(net), home_nodes_(std::move(home_nodes)), params_(params) {
+  if (home_nodes_.empty()) throw std::invalid_argument("GlobalCache: no home nodes");
+}
+
+namespace {
+/// Iterate chunk-local slices of a file-space segment.
+template <typename Fn>
+void slices(std::uint64_t chunk_bytes, const pfs::Segment& seg, Fn&& fn) {
+  std::uint64_t off = seg.offset;
+  std::uint64_t remaining = seg.length;
+  while (remaining > 0) {
+    const std::uint64_t index = off / chunk_bytes;
+    const std::uint64_t within = off % chunk_bytes;
+    const std::uint64_t take = std::min(remaining, chunk_bytes - within);
+    fn(index, within, take);
+    off += take;
+    remaining -= take;
+  }
+}
+}  // namespace
+
+bool GlobalCache::covers(pfs::FileId file, const pfs::Segment& seg) const {
+  bool all = true;
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
+           if (!all) return;
+           auto it = chunks_.find(ChunkKey{file, index});
+           if (it == chunks_.end() || !it->second.valid.covers(within, within + take))
+             all = false;
+         });
+  return all;
+}
+
+std::vector<pfs::Segment> GlobalCache::missing(pfs::FileId file,
+                                               const pfs::Segment& seg) const {
+  std::vector<pfs::Segment> out;
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
+           const std::uint64_t chunk_base = index * params_.chunk_bytes;
+           auto it = chunks_.find(ChunkKey{file, index});
+           std::vector<ByteRange> gaps;
+           if (it == chunks_.end()) {
+             gaps.push_back(ByteRange{within, within + take});
+           } else {
+             gaps = it->second.valid.gaps_within(within, within + take);
+           }
+           for (const auto& g : gaps) {
+             const std::uint64_t b = chunk_base + g.begin;
+             if (!out.empty() && out.back().end() == b) {
+               out.back().length += g.length();
+             } else {
+               out.push_back(pfs::Segment{b, g.length()});
+             }
+           }
+         });
+  return out;
+}
+
+void GlobalCache::insert(pfs::FileId file, const pfs::Segment& seg, std::uint64_t owner,
+                         bool prefetched, net::NodeId home_hint) {
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
+           const ChunkKey key{file, index};
+           const bool existed = chunks_.count(key) != 0;
+           ChunkMeta& m = chunks_[key];
+           if (!existed) m.home = resolve_home(key, home_hint);
+           if (m.valid.empty()) {
+             m.owner = owner;
+             m.prefetched = prefetched;
+             m.referenced = false;
+           }
+           m.valid.add(within, within + take);
+           m.last_ref = eng_.now();
+           if (params_.capacity_per_node > 0) enforce_capacity(m.home);
+         });
+}
+
+void GlobalCache::write(pfs::FileId file, const pfs::Segment& seg, std::uint64_t owner,
+                        net::NodeId home_hint) {
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
+           const ChunkKey key{file, index};
+           const bool existed = chunks_.count(key) != 0;
+           ChunkMeta& m = chunks_[key];
+           if (!existed) m.home = resolve_home(key, home_hint);
+           if (m.valid.empty()) m.owner = owner;
+           m.valid.add(within, within + take);
+           m.dirty.add(within, within + take);
+           m.last_ref = eng_.now();
+           m.referenced = true;
+           m.prefetched = false;
+           if (params_.capacity_per_node > 0) enforce_capacity(m.home);
+         });
+}
+
+std::uint64_t GlobalCache::reference(pfs::FileId file, const pfs::Segment& seg) {
+  std::uint64_t newly_used = 0;
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
+           auto it = chunks_.find(ChunkKey{file, index});
+           if (it == chunks_.end()) return;
+           ChunkMeta& m = it->second;
+           m.last_ref = eng_.now();
+           if (m.prefetched && !m.referenced) newly_used += m.valid.total_bytes();
+           m.referenced = true;
+           (void)within;
+           (void)take;
+         });
+  return newly_used;
+}
+
+std::vector<pfs::Segment> GlobalCache::dirty_segments(pfs::FileId file) const {
+  std::vector<pfs::Segment> out;
+  std::map<std::uint64_t, std::uint64_t> merged;  // file offset -> end
+  for (const auto& [key, meta] : chunks_) {
+    if (key.file != file || meta.dirty.empty()) continue;
+    const std::uint64_t base = key.index * params_.chunk_bytes;
+    for (const auto& r : meta.dirty.ranges()) merged[base + r.begin] = base + r.end;
+  }
+  for (const auto& [b, e] : merged) {
+    if (!out.empty() && out.back().end() == b) {
+      out.back().length += e - b;
+    } else {
+      out.push_back(pfs::Segment{b, e - b});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<pfs::FileId, pfs::Segment>> GlobalCache::all_dirty_segments() const {
+  std::vector<pfs::FileId> files;
+  for (const auto& [key, meta] : chunks_)
+    if (!meta.dirty.empty()) files.push_back(key.file);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<std::pair<pfs::FileId, pfs::Segment>> out;
+  for (pfs::FileId f : files)
+    for (const auto& seg : dirty_segments(f)) out.emplace_back(f, seg);
+  return out;
+}
+
+void GlobalCache::clear_dirty(pfs::FileId file, const pfs::Segment& seg) {
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
+           auto it = chunks_.find(ChunkKey{file, index});
+           if (it != chunks_.end()) it->second.dirty.remove(within, within + take);
+         });
+}
+
+std::uint64_t GlobalCache::owner_bytes(std::uint64_t owner) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, meta] : chunks_)
+    if (meta.owner == owner) sum += meta.valid.total_bytes();
+  return sum;
+}
+
+std::uint64_t GlobalCache::evict_idle(sim::Time now) {
+  std::uint64_t evicted = 0;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->second.dirty.empty() && now - it->second.last_ref >= params_.idle_eviction) {
+      evicted += it->second.valid.total_bytes();
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void GlobalCache::drop_clean(std::uint64_t owner) {
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->second.owner == owner && it->second.dirty.empty()) {
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GlobalCache::transfer(pfs::FileId file, const pfs::Segment& seg,
+                           net::NodeId from_node, bool to_cache,
+                           std::function<void()> done) {
+  // Group bytes by (placed) home node and move one message per home.
+  std::map<net::NodeId, std::uint64_t> per_home;
+  slices(params_.chunk_bytes, seg,
+         [&](std::uint64_t index, std::uint64_t, std::uint64_t take) {
+           per_home[placed_home(ChunkKey{file, index})] += take;
+         });
+  if (per_home.empty()) {
+    eng_.after(0, std::move(done));
+    return;
+  }
+  auto outstanding = std::make_shared<std::size_t>(per_home.size());
+  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  for (const auto& [home, bytes] : per_home) {
+    auto finish = [outstanding, done_shared] {
+      if (--*outstanding == 0) (*done_shared)();
+    };
+    if (to_cache) {
+      // put: payload travels to the home node.
+      net_.send(from_node, home, bytes + 64, std::move(finish));
+    } else {
+      // get: small request, payload comes back.
+      const auto h = home;
+      const auto b = bytes;
+      net_.send(from_node, h, 64, [this, h, from_node, b, finish = std::move(finish)] {
+        net_.send(h, from_node, b + 64, std::move(finish));
+      });
+    }
+  }
+}
+
+std::uint64_t GlobalCache::node_bytes(net::NodeId node) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, meta] : chunks_)
+    if (meta.home == node) sum += meta.valid.total_bytes();
+  return sum;
+}
+
+void GlobalCache::enforce_capacity(net::NodeId node) {
+  // Scan-based LRU: cache populations in the simulation are small (a few
+  // thousand chunks), so a scan per eviction round keeps the structure
+  // simple. Dirty and just-touched chunks are spared.
+  std::uint64_t used = node_bytes(node);
+  while (used > params_.capacity_per_node) {
+    const ChunkKey* victim = nullptr;
+    sim::Time oldest = INT64_MAX;
+    for (const auto& [key, meta] : chunks_) {
+      if (meta.home != node || !meta.dirty.empty()) continue;
+      if (meta.last_ref < oldest) {
+        oldest = meta.last_ref;
+        victim = &key;
+      }
+    }
+    if (victim == nullptr) return;  // everything left is dirty
+    auto it = chunks_.find(*victim);
+    used -= it->second.valid.total_bytes();
+    chunks_.erase(it);
+    ++capacity_evictions_;
+  }
+}
+
+std::uint64_t GlobalCache::total_valid_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, meta] : chunks_) sum += meta.valid.total_bytes();
+  return sum;
+}
+
+std::uint64_t GlobalCache::unused_prefetched_bytes(
+    const std::vector<ChunkKey>& keys) const {
+  std::uint64_t sum = 0;
+  for (const ChunkKey& k : keys) {
+    auto it = chunks_.find(k);
+    if (it != chunks_.end() && it->second.prefetched && !it->second.referenced)
+      sum += it->second.valid.total_bytes();
+  }
+  return sum;
+}
+
+}  // namespace dpar::cache

@@ -1,0 +1,91 @@
+#include "cache/rangeset.hpp"
+
+#include <algorithm>
+
+namespace dpar::cache {
+
+void RangeSet::add(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  // Find the first range that could merge: the one at or before `begin`.
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges_.erase(prev);
+    }
+  }
+  // Absorb all ranges starting within [begin, end].
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(begin, end);
+}
+
+void RangeSet::remove(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) --it;
+  while (it != ranges_.end() && it->first < end) {
+    const std::uint64_t rb = it->first;
+    const std::uint64_t re = it->second;
+    if (re <= begin) {
+      ++it;
+      continue;
+    }
+    it = ranges_.erase(it);
+    if (rb < begin) ranges_.emplace(rb, begin);
+    if (re > end) it = ranges_.emplace(end, re).first;
+  }
+}
+
+bool RangeSet::covers(std::uint64_t begin, std::uint64_t end) const {
+  if (begin >= end) return true;
+  auto it = ranges_.upper_bound(begin);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return it->second >= end;
+}
+
+bool RangeSet::intersects(std::uint64_t begin, std::uint64_t end) const {
+  if (begin >= end) return false;
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) return true;
+  }
+  return it != ranges_.end() && it->first < end;
+}
+
+std::vector<ByteRange> RangeSet::gaps_within(std::uint64_t begin, std::uint64_t end) const {
+  std::vector<ByteRange> gaps;
+  std::uint64_t cursor = begin;
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > cursor) cursor = std::min(prev->second, end);
+  }
+  for (; it != ranges_.end() && it->first < end; ++it) {
+    if (it->first > cursor) gaps.push_back(ByteRange{cursor, it->first});
+    cursor = std::max(cursor, std::min(it->second, end));
+  }
+  if (cursor < end) gaps.push_back(ByteRange{cursor, end});
+  return gaps;
+}
+
+std::uint64_t RangeSet::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& [b, e] : ranges_) sum += e - b;
+  return sum;
+}
+
+std::vector<ByteRange> RangeSet::ranges() const {
+  std::vector<ByteRange> out;
+  out.reserve(ranges_.size());
+  for (const auto& [b, e] : ranges_) out.push_back(ByteRange{b, e});
+  return out;
+}
+
+}  // namespace dpar::cache

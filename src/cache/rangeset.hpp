@@ -1,0 +1,46 @@
+// Sorted, coalescing set of half-open byte ranges [begin, end).
+//
+// Used per cache chunk to track which bytes are valid and which are dirty,
+// and by CRM to compute write-back holes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dpar::cache {
+
+struct ByteRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t length() const { return end - begin; }
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+class RangeSet {
+ public:
+  /// Insert [begin, end), merging with any overlapping/adjacent ranges.
+  void add(std::uint64_t begin, std::uint64_t end);
+
+  /// Remove [begin, end) from the set (splitting ranges as needed).
+  void remove(std::uint64_t begin, std::uint64_t end);
+
+  /// True when [begin, end) is fully covered.
+  bool covers(std::uint64_t begin, std::uint64_t end) const;
+
+  /// True when [begin, end) overlaps any range.
+  bool intersects(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Sub-ranges of [begin, end) NOT covered by the set (the holes).
+  std::vector<ByteRange> gaps_within(std::uint64_t begin, std::uint64_t end) const;
+
+  std::uint64_t total_bytes() const;
+  bool empty() const { return ranges_.empty(); }
+  std::vector<ByteRange> ranges() const;
+  void clear() { ranges_.clear(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ranges_;  // begin -> end
+};
+
+}  // namespace dpar::cache

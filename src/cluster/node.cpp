@@ -1,0 +1,47 @@
+#include "cluster/node.hpp"
+
+#include <utility>
+
+namespace dpar::cluster {
+
+void ComputeNode::run(sim::Time duration, CpuPriority prio, std::function<void()> done) {
+  Task task{duration, prio, std::move(done)};
+  if (prio == CpuPriority::kNormal) {
+    normal_q_.push_back(std::move(task));
+  } else {
+    ghost_q_.push_back(std::move(task));
+  }
+  dispatch();
+}
+
+void ComputeNode::dispatch() {
+  while (busy_ < cores_) {
+    if (!normal_q_.empty()) {
+      Task t = std::move(normal_q_.front());
+      normal_q_.pop_front();
+      start(std::move(t));
+    } else if (!ghost_q_.empty()) {
+      Task t = std::move(ghost_q_.front());
+      ghost_q_.pop_front();
+      start(std::move(t));
+    } else {
+      return;
+    }
+  }
+}
+
+void ComputeNode::start(Task task) {
+  ++busy_;
+  if (task.prio == CpuPriority::kNormal) {
+    normal_time_ += task.duration;
+  } else {
+    ghost_time_ += task.duration;
+  }
+  eng_.after(task.duration, [this, done = std::move(task.done)] {
+    --busy_;
+    done();
+    dispatch();
+  });
+}
+
+}  // namespace dpar::cluster

@@ -1,0 +1,153 @@
+#include "disk/device.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dpar::disk {
+
+DiskDevice::DiskDevice(sim::Engine& eng, DiskParams params,
+                       std::unique_ptr<IoScheduler> sched)
+    : eng_(eng), model_(params), sched_(std::move(sched)) {}
+
+void DiskDevice::submit(Request r) {
+  r.arrival = eng_.now();
+  const bool was_empty = sched_->pending() == 0;
+  sched_->enqueue(std::move(r), eng_.now());
+  if (busy_) return;
+  // A new arrival interrupts any anticipation wait so the scheduler can
+  // reconsider immediately.
+  if (wait_event_) {
+    eng_.cancel(wait_event_);
+    wait_event_ = {};
+  }
+  const auto& p = model_.params();
+  if (plugged_) {
+    // Unplug early when a burst has accumulated.
+    if (sched_->pending() >= p.plug_threshold) {
+      eng_.cancel(plug_event_);
+      plug_event_ = {};
+      plugged_ = false;
+      poll();
+    }
+    return;
+  }
+  if (p.plug_delay > 0 && was_empty) {
+    // Idle-to-busy edge: plug briefly so the rest of the burst can queue and
+    // be sorted together.
+    plugged_ = true;
+    plug_event_ = eng_.after(p.plug_delay, [this] {
+      plugged_ = false;
+      plug_event_ = {};
+      poll();
+    });
+    return;
+  }
+  poll();
+}
+
+void DiskDevice::poll() {
+  if (busy_) return;
+  wait_event_ = {};
+  Decision d = sched_->next(model_.head(), eng_.now());
+  switch (d.kind) {
+    case Decision::Kind::kIdle:
+      return;
+    case Decision::Kind::kWaitUntil: {
+      // Anticipatory idling: stay put, revisit at the deadline.
+      if (d.wait_until <= eng_.now()) return;  // defensive; treat as idle
+      wait_event_ = eng_.at(d.wait_until, [this] { poll(); });
+      return;
+    }
+    case Decision::Kind::kDispatch: {
+      Request req = std::move(d.request);
+      TraceEvent ev;
+      ev.time = eng_.now();
+      ev.lba = req.lba;
+      ev.sectors = req.sectors;
+      ev.is_write = req.is_write;
+      ev.context = req.context;
+      ev.seek_distance = model_.seek_distance(req.lba);
+      trace_.record(ev);
+
+      const sim::Time t = model_.serve(req.lba, req.sectors);
+      busy_ = true;
+      busy_time_ += t;
+      ++served_;
+      bytes_ += req.bytes();
+      eng_.after(t, [this, req = std::move(req)]() mutable {
+        busy_ = false;
+        sched_->completed(req, eng_.now());
+        if (req.done) req.done();
+        poll();
+      });
+      return;
+    }
+  }
+}
+
+Raid0Device::Raid0Device(sim::Engine& eng, DiskParams params,
+                         std::unique_ptr<IoScheduler> s0,
+                         std::unique_ptr<IoScheduler> s1, std::uint64_t chunk_sectors)
+    : eng_(eng),
+      d0_(eng, params, std::move(s0)),
+      d1_(eng, params, std::move(s1)),
+      chunk_sectors_(chunk_sectors) {}
+
+std::uint64_t Raid0Device::capacity_sectors() const {
+  return d0_.capacity_sectors() + d1_.capacity_sectors();
+}
+
+void Raid0Device::submit(Request r) {
+  // Split the logical request into per-chunk pieces, map each chunk to a
+  // member disk, and coalesce adjacent pieces that land on the same member.
+  struct Piece {
+    int member;
+    std::uint64_t lba;
+    std::uint64_t sectors;
+  };
+  std::vector<Piece> pieces;
+  // Index of the last piece per member, to coalesce member-adjacent chunks
+  // even though they alternate in logical order.
+  int last_piece[2] = {-1, -1};
+  std::uint64_t lba = r.lba;
+  std::uint64_t remaining = r.sectors;
+  while (remaining > 0) {
+    const std::uint64_t chunk = lba / chunk_sectors_;
+    const std::uint64_t within = lba % chunk_sectors_;
+    const std::uint64_t take = std::min(remaining, chunk_sectors_ - within);
+    const int member = static_cast<int>(chunk % 2);
+    // Member-local address: chunk index within the member, same offset.
+    const std::uint64_t mlba = (chunk / 2) * chunk_sectors_ + within;
+    if (last_piece[member] >= 0) {
+      Piece& prev = pieces[static_cast<std::size_t>(last_piece[member])];
+      if (prev.lba + prev.sectors == mlba) {
+        prev.sectors += take;
+        lba += take;
+        remaining -= take;
+        continue;
+      }
+    }
+    last_piece[member] = static_cast<int>(pieces.size());
+    pieces.push_back(Piece{member, mlba, take});
+    lba += take;
+    remaining -= take;
+  }
+
+  auto outstanding = std::make_shared<std::size_t>(pieces.size());
+  auto done = std::move(r.done);
+  for (const Piece& p : pieces) {
+    Request sub;
+    sub.id = next_id_++;
+    sub.lba = p.lba;
+    sub.sectors = static_cast<std::uint32_t>(p.sectors);
+    sub.is_write = r.is_write;
+    sub.context = r.context;
+    sub.done = [outstanding, done] {
+      if (--*outstanding == 0 && done) done();
+    };
+    member(p.member).submit(std::move(sub));
+  }
+}
+
+}  // namespace dpar::disk

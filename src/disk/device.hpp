@@ -1,0 +1,75 @@
+// Disk device: couples the positional disk model, an I/O scheduler and the
+// event engine; serves one request at a time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "disk/blktrace.hpp"
+#include "disk/model.hpp"
+#include "disk/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace dpar::disk {
+
+/// Common interface so RAID compositions and plain disks interchange.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+  virtual void submit(Request r) = 0;
+  virtual std::uint64_t capacity_sectors() const = 0;
+};
+
+class DiskDevice final : public BlockDevice {
+ public:
+  DiskDevice(sim::Engine& eng, DiskParams params, std::unique_ptr<IoScheduler> sched);
+
+  void submit(Request r) override;
+  std::uint64_t capacity_sectors() const override { return model_.params().capacity_sectors(); }
+
+  BlkTrace& trace() { return trace_; }
+  const DiskModel& model() const { return model_; }
+  IoScheduler& scheduler() { return *sched_; }
+
+  /// Total time the disk spent servicing requests (utilization numerator).
+  sim::Time busy_time() const { return busy_time_; }
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t bytes_served() const { return bytes_; }
+
+ private:
+  void poll();
+
+  sim::Engine& eng_;
+  DiskModel model_;
+  std::unique_ptr<IoScheduler> sched_;
+  BlkTrace trace_;
+  bool busy_ = false;
+  bool plugged_ = false;
+  sim::EventId plug_event_{};
+  sim::EventId wait_event_{};
+  sim::Time busy_time_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// RAID-0 pair (the paper's per-server hardware RAID of two drives): stripes
+/// requests over two member disks at a fixed chunk size and completes when
+/// all member requests finish.
+class Raid0Device final : public BlockDevice {
+ public:
+  Raid0Device(sim::Engine& eng, DiskParams params, std::unique_ptr<IoScheduler> s0,
+              std::unique_ptr<IoScheduler> s1, std::uint64_t chunk_sectors = 128);
+
+  void submit(Request r) override;
+  std::uint64_t capacity_sectors() const override;
+
+  DiskDevice& member(int i) { return i == 0 ? d0_ : d1_; }
+
+ private:
+  sim::Engine& eng_;
+  DiskDevice d0_, d1_;
+  std::uint64_t chunk_sectors_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dpar::disk

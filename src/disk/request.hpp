@@ -1,0 +1,34 @@
+// Block-layer request type shared by the disk model, the I/O schedulers and
+// the blktrace recorder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace dpar::disk {
+
+inline constexpr std::uint64_t kSectorBytes = 512;
+
+constexpr std::uint64_t bytes_to_sectors(std::uint64_t bytes) {
+  return (bytes + kSectorBytes - 1) / kSectorBytes;
+}
+
+/// One block request as seen by a disk scheduler.
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t lba = 0;        ///< start sector
+  std::uint32_t sectors = 0;    ///< length in sectors
+  bool is_write = false;
+  /// I/O context the request belongs to (originating process or daemon);
+  /// CFQ keeps one queue per context.
+  std::uint64_t context = 0;
+  sim::Time arrival = 0;
+  std::function<void()> done;
+
+  std::uint64_t end_lba() const { return lba + sectors; }
+  std::uint64_t bytes() const { return std::uint64_t{sectors} * kSectorBytes; }
+};
+
+}  // namespace dpar::disk

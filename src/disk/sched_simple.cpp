@@ -1,0 +1,142 @@
+// NOOP (FIFO), DEADLINE and C-SCAN elevator schedulers.
+//
+// These are the baselines against which the CFQ model and DualPar's
+// application-level ordering are compared in the ablation benches.
+#include <deque>
+#include <stdexcept>
+#include <map>
+#include <utility>
+
+#include "disk/scheduler.hpp"
+
+namespace dpar::disk {
+namespace {
+
+class NoopScheduler final : public IoScheduler {
+ public:
+  void enqueue(Request r, sim::Time) override { q_.push_back(std::move(r)); }
+
+  Decision next(std::uint64_t, sim::Time) override {
+    if (q_.empty()) return Decision::idle();
+    Request r = std::move(q_.front());
+    q_.pop_front();
+    return Decision::dispatch(std::move(r));
+  }
+
+  std::size_t pending() const override { return q_.size(); }
+  std::string name() const override { return "noop"; }
+
+ private:
+  std::deque<Request> q_;
+};
+
+/// Sector-sorted service with per-direction expiry FIFOs, like the Linux
+/// deadline scheduler (reads 500 ms, writes 5 s by default; the read FIFO is
+/// checked first, so an expired read pre-empts the sweep even while older
+/// writes are still within deadline).
+class DeadlineScheduler final : public IoScheduler {
+ public:
+  DeadlineScheduler(sim::Time rd, sim::Time wd) : read_dl_(rd), write_dl_(wd) {}
+
+  void enqueue(Request r, sim::Time now) override {
+    const std::uint64_t key = r.id;
+    auto& fifo = r.is_write ? write_fifo_ : read_fifo_;
+    fifo.emplace_back(now + (r.is_write ? write_dl_ : read_dl_), key);
+    sorted_.emplace(r.lba, std::move(r));
+    index_[key] = true;
+  }
+
+  Decision next(std::uint64_t head_lba, sim::Time now) override {
+    if (sorted_.empty()) return Decision::idle();
+    for (auto* fifo : {&read_fifo_, &write_fifo_}) {
+      drop_stale(*fifo);
+      if (!fifo->empty() && fifo->front().first <= now) {
+        const std::uint64_t key = fifo->front().second;
+        fifo->pop_front();
+        return Decision::dispatch(take_by_id(key));
+      }
+    }
+    auto it = sorted_.lower_bound(head_lba);
+    if (it == sorted_.end()) it = sorted_.begin();  // wrap like C-SCAN
+    Request r = std::move(it->second);
+    sorted_.erase(it);
+    index_.erase(r.id);
+    return Decision::dispatch(std::move(r));
+  }
+
+  std::size_t pending() const override { return sorted_.size(); }
+  std::string name() const override { return "deadline"; }
+
+ private:
+  using Fifo = std::deque<std::pair<sim::Time, std::uint64_t>>;
+
+  void drop_stale(Fifo& fifo) {
+    while (!fifo.empty() && index_.find(fifo.front().second) == index_.end())
+      fifo.pop_front();
+  }
+
+  Request take_by_id(std::uint64_t key) {
+    for (auto it = sorted_.begin(); it != sorted_.end(); ++it) {
+      if (it->second.id == key) {
+        Request r = std::move(it->second);
+        sorted_.erase(it);
+        index_.erase(key);
+        return r;
+      }
+    }
+    throw std::logic_error("deadline: FIFO entry without a sorted-queue request");
+  }
+
+  sim::Time read_dl_, write_dl_;
+  std::multimap<std::uint64_t, Request> sorted_;
+  Fifo read_fifo_;
+  Fifo write_fifo_;
+  std::map<std::uint64_t, bool> index_;
+};
+
+/// One-directional elevator: serve ascending from the head, wrap to the
+/// lowest pending sector at the end of the sweep.
+class CscanScheduler final : public IoScheduler {
+ public:
+  void enqueue(Request r, sim::Time) override { sorted_.emplace(r.lba, std::move(r)); }
+
+  Decision next(std::uint64_t head_lba, sim::Time) override {
+    if (sorted_.empty()) return Decision::idle();
+    auto it = sorted_.lower_bound(head_lba);
+    if (it == sorted_.end()) it = sorted_.begin();
+    Request r = std::move(it->second);
+    sorted_.erase(it);
+    return Decision::dispatch(std::move(r));
+  }
+
+  std::size_t pending() const override { return sorted_.size(); }
+  std::string name() const override { return "cscan"; }
+
+ private:
+  std::multimap<std::uint64_t, Request> sorted_;
+};
+
+}  // namespace
+
+std::unique_ptr<IoScheduler> make_noop_scheduler() {
+  return std::make_unique<NoopScheduler>();
+}
+std::unique_ptr<IoScheduler> make_deadline_scheduler(sim::Time rd, sim::Time wd) {
+  return std::make_unique<DeadlineScheduler>(rd, wd);
+}
+std::unique_ptr<IoScheduler> make_cscan_scheduler() {
+  return std::make_unique<CscanScheduler>();
+}
+
+std::unique_ptr<IoScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNoop: return make_noop_scheduler();
+    case SchedulerKind::kDeadline: return make_deadline_scheduler();
+    case SchedulerKind::kCscan: return make_cscan_scheduler();
+    case SchedulerKind::kCfq: return make_cfq_scheduler();
+    case SchedulerKind::kAnticipatory: return make_anticipatory_scheduler();
+  }
+  return make_cfq_scheduler();
+}
+
+}  // namespace dpar::disk

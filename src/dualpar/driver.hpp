@@ -1,0 +1,100 @@
+// DualPar MPI-IO driver — the paper's contribution (§IV), Strategy 3 of §II.
+//
+// In normal mode it behaves like vanilla MPI-IO (plus cache consistency).
+// In data-driven mode:
+//  * reads that hit the global cache complete with a memcached get;
+//  * a read miss suspends the process (PEC) and forks a ghost pre-execution
+//    that records the process's future reads up to its cache quota;
+//  * writes are absorbed into the global cache; a process whose dirty volume
+//    exceeds its quota is held;
+//  * once every process of the job is parked (suspended, held, at a barrier,
+//    or finished) and all ghosts have paused — or the fill deadline expires —
+//    CRM runs one data-driven cycle: flush dirty data (sorted, merged, holes
+//    read first), then issue the union of predicted reads as one sorted,
+//    merged, hole-filled batch in ascending offset order; prefetched data
+//    lands in the global cache and the processes resume.
+// Mis-prefetch is measured when the next cycle begins and reported to EMC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/global_cache.hpp"
+#include "dualpar/emc.hpp"
+#include "dualpar/ghost.hpp"
+#include "dualpar/params.hpp"
+#include "mpiio/vanilla.hpp"
+
+namespace dpar::dualpar {
+
+struct DriverStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t prefetch_bytes = 0;
+  std::uint64_t hole_read_bytes = 0;
+  std::uint64_t writeback_bytes = 0;
+  std::uint64_t cache_hit_bytes = 0;
+  std::uint64_t miss_direct_bytes = 0;  ///< mis-predicted reads served directly
+  std::uint64_t ghost_forks = 0;
+  std::uint64_t deadline_expiries = 0;
+};
+
+class DualParDriver : public mpiio::VanillaDriver {
+ public:
+  DualParDriver(mpiio::IoEnv env, cache::GlobalCache& cache, Emc& emc, Params params);
+
+  void io(mpi::Process& proc, const mpi::IoCall& call,
+          std::function<void()> done) override;
+  void on_barrier_enter(mpi::Process& proc) override;
+  void on_process_end(mpi::Process& proc) override;
+
+  std::string name() const override { return "dualpar"; }
+  const DriverStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    mpi::Process* proc;
+    mpi::IoCall call;
+    std::function<void()> done;
+    bool write_hold = false;  ///< held on write quota rather than a read miss
+  };
+
+  struct JobState {
+    bool cycle_active = false;
+    std::vector<Pending> pending;
+    std::map<std::uint32_t, std::unique_ptr<GhostRunner>> ghosts;
+    sim::EventId deadline{};
+    std::set<pfs::FileId> files_written;
+    std::map<std::uint32_t, std::uint64_t> dirty_bytes;  // per process
+    // Previous round, for mis-prefetch accounting.
+    std::vector<cache::ChunkKey> prev_chunks;
+    std::uint64_t prev_prefetch_bytes = 0;
+    std::uint64_t crm_context = 0;
+    bool final_flush_done = false;
+  };
+
+  JobState& state_for(mpi::Job& job);
+  void read_path(mpi::Process& proc, const mpi::IoCall& call, std::function<void()> done);
+  void write_path(mpi::Process& proc, const mpi::IoCall& call, std::function<void()> done);
+  void serve_from_cache(mpi::Process& proc, const mpi::IoCall& call,
+                        std::function<void()> done);
+  void arm_deadline(mpi::Job& job, mpi::Process& proc);
+  void maybe_start_cycle(mpi::Job& job);
+  void start_cycle(mpi::Job& job);
+  void run_writeback(mpi::Job& job, std::function<void()> next);
+  void run_prefetch(mpi::Job& job, std::function<void()> next);
+  void resume_all(mpi::Job& job);
+  void final_flush(mpi::Job& job);
+
+  cache::GlobalCache& cache_;
+  Emc& emc_;
+  Params params_;
+  std::map<std::uint32_t, JobState> jobs_;
+  DriverStats stats_;
+};
+
+}  // namespace dpar::dualpar

@@ -1,0 +1,139 @@
+#include "dualpar/emc.hpp"
+
+#include <algorithm>
+
+#include "disk/request.hpp"
+#include "dualpar/crm.hpp"
+
+namespace dpar::dualpar {
+
+Emc::Emc(sim::Engine& eng, Params params, std::vector<pfs::DataServer*> servers)
+    : eng_(eng), params_(params), servers_(std::move(servers)) {}
+
+void Emc::register_job(mpi::Job& job, Policy policy) {
+  JobEntry e;
+  e.job = &job;
+  e.policy = policy;
+  switch (policy) {
+    case Policy::kForcedDataDriven: e.mode = Mode::kDataDriven; break;
+    default: e.mode = Mode::kNormal; break;
+  }
+  jobs_[job.id()] = std::move(e);
+}
+
+Mode Emc::mode(std::uint32_t job_id) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return Mode::kNormal;
+  if (it->second.latched) return Mode::kNormal;
+  return it->second.mode;
+}
+
+void Emc::report_misprefetch(std::uint32_t job_id, double ratio) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  it->second.misprefetch.add(ratio);
+  if (it->second.misprefetch.value() > params_.misprefetch_threshold &&
+      it->second.policy != Policy::kForcedNormal) {
+    // "A large mis-prefetching miss ratio will turn off the data-driven mode
+    // ... this is a one-time overhead" — latch the job to normal.
+    it->second.latched = true;
+    it->second.mode_series.add(eng_.now(), 0.0);
+  }
+}
+
+bool Emc::latched_off(std::uint32_t job_id) const {
+  auto it = jobs_.find(job_id);
+  return it != jobs_.end() && it->second.latched;
+}
+
+void Emc::observe(std::uint32_t job_id, pfs::FileId file,
+                  const std::vector<pfs::Segment>& segments, sim::Time) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  auto& slot = it->second.slot_requests[file];
+  slot.insert(slot.end(), segments.begin(), segments.end());
+}
+
+void Emc::start() {
+  if (ticking_) return;
+  ticking_ = true;
+  eng_.after(params_.emc_slot, [this] {
+    ticking_ = false;
+    tick();
+    // Keep evaluating while any registered job is live.
+    const bool live = std::any_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
+      return !kv.second.job->finished();
+    });
+    if (live) start();
+  });
+}
+
+void Emc::tick() {
+  const sim::Time now = eng_.now();
+
+  // Server-side: mean seek distance of the last completed slot, in bytes.
+  double seek_sum = 0.0;
+  std::uint32_t seek_n = 0;
+  for (pfs::DataServer* s : servers_) {
+    const double d = s->trace().slot_seek_distance(now);
+    if (d > 0.0 || s->trace().dispatches() > 0) {
+      seek_sum += d * static_cast<double>(disk::kSectorBytes);
+      ++seek_n;
+    }
+  }
+  last_seek_ = seek_n ? seek_sum / seek_n : 0.0;
+  seek_series_.add(now, last_seek_);
+
+  // Client-side: per-job ReqDist and I/O ratio.
+  double req_sum = 0.0;
+  std::uint32_t req_n = 0;
+  for (auto& [id, e] : jobs_) {
+    double job_sum = 0.0;
+    std::uint32_t job_n = 0;
+    for (auto& [file, segs] : e.slot_requests) {
+      if (segs.size() < 2) continue;
+      job_sum += mean_adjacent_distance(segs);
+      ++job_n;
+    }
+    e.slot_requests.clear();
+    if (job_n > 0) {
+      req_sum += job_sum / job_n;
+      ++req_n;
+    }
+    // I/O ratio over the last slot.
+    const sim::Time io = e.job->total_io_time();
+    const sim::Time comp = e.job->total_compute_time();
+    const sim::Time dio = io - e.prev_io;
+    const sim::Time dcomp = comp - e.prev_compute;
+    e.prev_io = io;
+    e.prev_compute = comp;
+    if (dio + dcomp > 0)
+      e.io_ratio = static_cast<double>(dio) / static_cast<double>(dio + dcomp);
+  }
+  last_req_ = req_n ? req_sum / req_n : 0.0;
+  last_ratio_ = last_req_ > 0.0 ? last_seek_ / last_req_ : 0.0;
+
+  // Mode decisions, with confirmation slots and a minimum dwell so the
+  // controller does not flap (the data-driven mode's own effect on seek
+  // distances would immediately disqualify it again).
+  for (auto& [id, e] : jobs_) {
+    if (e.policy != Policy::kAdaptive || e.latched || e.job->finished()) continue;
+    const Mode want = (last_ratio_ > params_.t_improvement &&
+                       e.io_ratio > params_.io_ratio_threshold)
+                          ? Mode::kDataDriven
+                          : Mode::kNormal;
+    if (want == e.mode) {
+      e.agree_slots = 0;
+      continue;
+    }
+    if (++e.agree_slots < params_.emc_confirm_slots) continue;
+    if (now - e.last_switch < params_.emc_min_dwell && e.last_switch > 0) continue;
+    e.mode = want;
+    e.agree_slots = 0;
+    e.last_switch = now;
+    ++switches_;
+    e.mode_series.add(now, want == Mode::kDataDriven ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace dpar::dualpar

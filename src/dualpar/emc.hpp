@@ -1,0 +1,93 @@
+// EMC — execution-mode control daemon (§IV-B).
+//
+// Lives on the metadata server. Every slot it gathers:
+//  * per-server SeekDist: mean disk-head seek distance of requests dispatched
+//    in the last slot (from the blktrace recorders);
+//  * per-job ReqDist: mean adjacent distance of the job's requests observed
+//    at the compute nodes in the last slot, after sorting per file — the best
+//    I/O efficiency a data-driven reordering could achieve;
+//  * per-job I/O ratio, from the instrumented ADIO timing probes.
+// A job enters data-driven mode when aveSeekDist/aveReqDist > T_improvement
+// and its I/O ratio exceeds 80%; it reverts when the condition clears, and is
+// latched back to normal when its average mis-prefetch ratio exceeds 20%.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dualpar/params.hpp"
+#include "mpi/job.hpp"
+#include "mpiio/env.hpp"
+#include "pfs/server.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace dpar::dualpar {
+
+enum class Mode { kNormal, kDataDriven };
+enum class Policy { kAdaptive, kForcedNormal, kForcedDataDriven };
+
+class Emc : public mpiio::RequestObserver {
+ public:
+  Emc(sim::Engine& eng, Params params, std::vector<pfs::DataServer*> servers);
+
+  void register_job(mpi::Job& job, Policy policy);
+  Mode mode(std::uint32_t job_id) const;
+
+  /// Mis-prefetch report from a job's CRM at the start of a pre-execution
+  /// round; ratios are averaged and can latch the job back to normal mode.
+  void report_misprefetch(std::uint32_t job_id, double ratio);
+  bool latched_off(std::uint32_t job_id) const;
+
+  /// ADIO request observation (client side, feeds ReqDist).
+  void observe(std::uint32_t job_id, pfs::FileId file,
+               const std::vector<pfs::Segment>& segments, sim::Time now) override;
+
+  /// Begin periodic evaluation (re-arms itself while any job is live).
+  void start();
+  /// One evaluation step (also callable directly from tests).
+  void tick();
+
+  // ---- Introspection for experiments ----
+  double last_seek_dist_bytes() const { return last_seek_; }
+  double last_req_dist_bytes() const { return last_req_; }
+  double last_improvement_ratio() const { return last_ratio_; }
+  const sim::TimeSeries& seek_series() const { return seek_series_; }
+  const sim::TimeSeries& mode_series(std::uint32_t job_id) const {
+    return jobs_.at(job_id).mode_series;
+  }
+  std::uint64_t mode_switches() const { return switches_; }
+
+ private:
+  struct JobEntry {
+    mpi::Job* job = nullptr;
+    Policy policy = Policy::kAdaptive;
+    Mode mode = Mode::kNormal;
+    bool latched = false;
+    sim::Ewma misprefetch{0.5};
+    // I/O-ratio deltas between ticks.
+    sim::Time prev_io = 0;
+    sim::Time prev_compute = 0;
+    double io_ratio = 0.0;
+    // Request observations of the current slot, per file.
+    std::map<pfs::FileId, std::vector<pfs::Segment>> slot_requests;
+    sim::TimeSeries mode_series;
+    // Switch damping.
+    std::uint32_t agree_slots = 0;
+    sim::Time last_switch = 0;
+  };
+
+  sim::Engine& eng_;
+  Params params_;
+  std::vector<pfs::DataServer*> servers_;
+  std::map<std::uint32_t, JobEntry> jobs_;
+  bool ticking_ = false;
+  double last_seek_ = 0.0;
+  double last_req_ = 0.0;
+  double last_ratio_ = 0.0;
+  std::uint64_t switches_ = 0;
+  sim::TimeSeries seek_series_;
+};
+
+}  // namespace dpar::dualpar

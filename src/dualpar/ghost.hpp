@@ -1,0 +1,68 @@
+// Ghost pre-execution (§IV-C).
+//
+// When a process blocks on a read miss in data-driven mode, PEC forks a
+// ghost: a clone of the program at its exact current position. The ghost
+// re-runs the computation (at ghost CPU priority, on the same node — the
+// redundant-computation overhead the paper accepts for prediction accuracy)
+// and *records* the read requests it encounters instead of issuing them.
+// It pauses once the recorded data volume reaches the process's cache quota,
+// when the program ends, or when PEC's deadline stops it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/job.hpp"
+#include "mpi/program.hpp"
+#include "sim/engine.hpp"
+
+namespace dpar::dualpar {
+
+class GhostRunner {
+ public:
+  /// `on_pause` fires exactly once, when the ghost stops recording.
+  GhostRunner(sim::Engine& eng, mpi::Process& proc, std::uint64_t quota,
+              std::function<void()> on_pause);
+
+  /// Begin pre-execution; `missed_call` (the read the process blocked on) is
+  /// recorded first, then the cloned program continues from there.
+  void start(const mpi::IoCall& missed_call);
+
+  /// Begin pre-execution from the program's current position with no blocked
+  /// call — used for processes parked at a barrier when a data-driven cycle
+  /// forms, so the batch covers *every* process's future reads (§IV-C).
+  void start();
+
+  /// Deadline expiry: stop at the next step boundary.
+  void stop();
+
+  bool paused() const { return paused_; }
+  std::uint64_t recorded_bytes() const { return recorded_bytes_; }
+  std::uint32_t owner() const { return owner_; }
+  /// Compute node of the owning process (placement hint for its chunks).
+  std::uint32_t node_id() const { return node_.id(); }
+
+  /// Predicted read calls, in program order.
+  const std::vector<mpi::IoCall>& predicted() const { return predicted_; }
+
+ private:
+  void step();
+  void pause();
+
+  sim::Engine& eng_;
+  cluster::ComputeNode& node_;
+  std::uint32_t owner_;
+  std::uint64_t quota_;
+  std::function<void()> on_pause_;
+  std::unique_ptr<mpi::Program> prog_;
+  mpi::ProgramContext ctx_;
+  std::vector<mpi::IoCall> predicted_;
+  std::uint64_t recorded_bytes_ = 0;
+  bool paused_ = false;
+  bool stop_requested_ = false;
+  bool computing_ = false;
+};
+
+}  // namespace dpar::dualpar

@@ -1,0 +1,151 @@
+#include "harness/testbed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpar::harness {
+
+namespace {
+std::unique_ptr<disk::BlockDevice> make_device(sim::Engine& eng,
+                                               const TestbedConfig& cfg,
+                                               std::uint32_t server) {
+  const disk::DiskParams& params = server < cfg.per_server_disk.size()
+                                       ? cfg.per_server_disk[server]
+                                       : cfg.disk;
+  if (cfg.raid0) {
+    return std::make_unique<disk::Raid0Device>(eng, params,
+                                               disk::make_scheduler(cfg.scheduler),
+                                               disk::make_scheduler(cfg.scheduler));
+  }
+  return std::make_unique<disk::DiskDevice>(eng, params,
+                                            disk::make_scheduler(cfg.scheduler));
+}
+}  // namespace
+
+Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
+  if (cfg_.data_servers == 0) throw std::invalid_argument("Testbed: no data servers");
+  if (cfg_.compute_nodes == 0) throw std::invalid_argument("Testbed: no compute nodes");
+  if (cfg_.cores_per_node == 0) throw std::invalid_argument("Testbed: no cores");
+  if (cfg_.stripe_unit == 0) throw std::invalid_argument("Testbed: zero stripe unit");
+  if (cfg_.dualpar.cache_quota == 0)
+    throw std::invalid_argument("Testbed: zero cache quota (use the vanilla driver "
+                                "to disable DualPar)");
+  // Node layout: data servers on [0, S), metadata server on S, compute nodes
+  // on [S+1, S+1+C).
+  const std::uint32_t total_nodes = cfg_.data_servers + 1 + cfg_.compute_nodes;
+  net_ = std::make_unique<net::Network>(eng_, total_nodes, cfg_.net);
+
+  std::vector<pfs::DataServer*> raw_servers;
+  for (std::uint32_t s = 0; s < cfg_.data_servers; ++s) {
+    servers_.push_back(std::make_unique<pfs::DataServer>(eng_, s,
+                                                         make_device(eng_, cfg_, s),
+                                                         cfg_.server));
+    servers_.back()->trace().set_keep_events(cfg_.keep_traces);
+    raw_servers.push_back(servers_.back().get());
+  }
+
+  std::vector<net::NodeId> compute_node_ids;
+  for (std::uint32_t c = 0; c < cfg_.compute_nodes; ++c) {
+    const net::NodeId id = cfg_.data_servers + 1 + c;
+    nodes_.push_back(std::make_unique<cluster::ComputeNode>(eng_, id, cfg_.cores_per_node));
+    compute_node_ids.push_back(id);
+  }
+
+  fs_ = std::make_unique<pfs::FileSystem>(
+      eng_, *net_, /*metadata_node=*/cfg_.data_servers, raw_servers,
+      pfs::StripeLayout{cfg_.stripe_unit, cfg_.data_servers});
+  clients_ = std::make_unique<mpiio::ClientPool>(*fs_);
+  cache::CacheParams cp = cfg_.cache;
+  cp.chunk_bytes = cfg_.stripe_unit;  // chunk == stripe unit (§IV-D)
+  cache_ = std::make_unique<cache::GlobalCache>(eng_, *net_, compute_node_ids, cp);
+  emc_ = std::make_unique<dualpar::Emc>(eng_, cfg_.dualpar, raw_servers);
+  monitor_ = std::make_unique<metrics::SystemMonitor>(
+      eng_, raw_servers, [this] { return !all_jobs_finished(); });
+
+  const mpiio::IoEnv env{*fs_, *clients_, *net_, emc_.get()};
+  vanilla_ = std::make_unique<mpiio::VanillaDriver>(env);
+  collective_ = std::make_unique<mpiio::CollectiveDriver>(env, cfg_.collective);
+  dualpar_ = std::make_unique<dualpar::DualParDriver>(env, *cache_, *emc_, cfg_.dualpar);
+  preexec_ = std::make_unique<dualpar::PreexecDriver>(env, *cache_, cfg_.dualpar);
+}
+
+Testbed::~Testbed() = default;
+
+std::vector<cluster::ComputeNode*> Testbed::compute_nodes() {
+  std::vector<cluster::ComputeNode*> out;
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+pfs::FileId Testbed::create_file(const std::string& name, std::uint64_t size) {
+  return fs_->create(name, size);
+}
+
+mpi::Job& Testbed::add_job(const std::string& name, std::uint32_t nprocs,
+                           mpi::IoDriver& driver, const mpi::Job::ProgramFactory& factory,
+                           dualpar::Policy policy, sim::Time start_at) {
+  jobs_.push_back(
+      std::make_unique<mpi::Job>(eng_, next_job_id_++, name, driver, net_.get()));
+  mpi::Job& job = *jobs_.back();
+  job.spawn(nprocs, compute_nodes(), factory, next_gid_);
+  next_gid_ += nprocs;
+  emc_->register_job(job, policy);
+  mpi::Job* jp = &job;
+  if (start_at <= eng_.now()) {
+    // Defer to an event so construction order never matters.
+    eng_.after(0, [jp] { jp->start(); });
+  } else {
+    eng_.at(start_at, [jp] { jp->start(); });
+  }
+  return job;
+}
+
+std::uint64_t Testbed::run(std::uint64_t max_events) {
+  emc_->start();
+  monitor_->start();
+  // Periodic idle eviction ("a chunk will be evicted if it is not used for a
+  // certain period of time", §IV-D); re-arms only while jobs live so the
+  // queue can drain.
+  std::function<void()> evict_tick = [this, &evict_tick] {
+    cache_->evict_idle(eng_.now());
+    if (!all_jobs_finished()) eng_.after(cfg_.cache.idle_eviction / 2, evict_tick);
+  };
+  eng_.after(cfg_.cache.idle_eviction / 2, evict_tick);
+  const std::uint64_t fired = eng_.run(max_events);
+  if (!all_jobs_finished())
+    throw std::runtime_error("Testbed::run: event queue drained before all jobs "
+                             "finished (deadlock?)");
+  return fired;
+}
+
+bool Testbed::all_jobs_finished() const {
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const auto& j) { return j->finished(); });
+}
+
+double Testbed::job_throughput_mbs(const mpi::Job& job) const {
+  const sim::Time dur = job.completion_time() - job.start_time();
+  if (dur <= 0) return 0.0;
+  return static_cast<double>(job.total_bytes()) / sim::to_seconds(dur) / 1e6;
+}
+
+double Testbed::system_throughput_mbs() const {
+  if (jobs_.empty()) return 0.0;
+  sim::Time first = INT64_MAX, last = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& j : jobs_) {
+    first = std::min(first, j->start_time());
+    last = std::max(last, j->completion_time());
+    bytes += j->total_bytes();
+  }
+  if (last <= first) return 0.0;
+  return static_cast<double>(bytes) / sim::to_seconds(last - first) / 1e6;
+}
+
+double Testbed::total_io_time_s() const {
+  sim::Time t = 0;
+  for (const auto& j : jobs_) t += j->total_io_time();
+  return sim::to_seconds(t);
+}
+
+}  // namespace dpar::harness

@@ -1,0 +1,42 @@
+#include "metrics/csv.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace dpar::metrics {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool write_series_csv(const std::string& path, const sim::TimeSeries& series,
+                      const std::string& value_header) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(), "time_s,%s\n", value_header.c_str());
+  for (const auto& [t, v] : series.points)
+    std::fprintf(f.get(), "%.6f,%.6f\n", sim::to_seconds(t), v);
+  return std::ferror(f.get()) == 0;
+}
+
+bool write_trace_csv(const std::string& path,
+                     const std::vector<disk::TraceEvent>& events) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(), "time_s,lba,sectors,rw,context,seek_distance\n");
+  for (const auto& ev : events)
+    std::fprintf(f.get(), "%.6f,%llu,%u,%c,%llu,%llu\n", sim::to_seconds(ev.time),
+                 static_cast<unsigned long long>(ev.lba), ev.sectors,
+                 ev.is_write ? 'W' : 'R',
+                 static_cast<unsigned long long>(ev.context),
+                 static_cast<unsigned long long>(ev.seek_distance));
+  return std::ferror(f.get()) == 0;
+}
+
+}  // namespace dpar::metrics

@@ -1,0 +1,21 @@
+// CSV export of experiment artefacts: time series (throughput, seek
+// distances) and blktrace dispatch streams, for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "disk/blktrace.hpp"
+#include "sim/stats.hpp"
+
+namespace dpar::metrics {
+
+/// Write "time_s,value" rows. Returns false on I/O failure.
+bool write_series_csv(const std::string& path, const sim::TimeSeries& series,
+                      const std::string& value_header = "value");
+
+/// Write "time_s,lba,sectors,rw,context,seek_distance" rows.
+bool write_trace_csv(const std::string& path,
+                     const std::vector<disk::TraceEvent>& events);
+
+}  // namespace dpar::metrics

@@ -1,0 +1,240 @@
+#include "mpiio/collective.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace dpar::mpiio {
+namespace {
+
+/// Sorted, coalesced copy of segments.
+std::vector<pfs::Segment> sort_and_merge(std::vector<pfs::Segment> segs) {
+  std::sort(segs.begin(), segs.end(), [](const pfs::Segment& a, const pfs::Segment& b) {
+    return a.offset < b.offset;
+  });
+  std::vector<pfs::Segment> out;
+  for (const auto& s : segs) {
+    if (s.length == 0) continue;
+    if (!out.empty() && out.back().end() >= s.offset) {
+      out.back().length = std::max(out.back().end(), s.end()) - out.back().offset;
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void CollectiveDriver::io(mpi::Process& proc, const mpi::IoCall& call,
+                          std::function<void()> done) {
+  if (!call.collective) {
+    VanillaDriver::io(proc, call, std::move(done));
+    return;
+  }
+  if (env_.observer)
+    env_.observer->observe(proc.job().id(), call.file, call.segments,
+                           env_.fs.engine().now());
+  Epoch& epoch = epochs_[proc.job().id()];
+  epoch.entries.push_back(Entry{&proc, call, std::move(done)});
+  const std::uint32_t live = proc.job().nprocs() -
+                             [&] {
+                               std::uint32_t f = 0;
+                               for (std::uint32_t i = 0; i < proc.job().nprocs(); ++i)
+                                 if (proc.job().process(i).state() == mpi::ProcState::kFinished)
+                                   ++f;
+                               return f;
+                             }();
+  if (epoch.entries.size() >= live) run_round(proc.job().id());
+}
+
+void CollectiveDriver::on_process_end(mpi::Process& proc) {
+  // A rank finishing can complete a pending round (remaining live ranks all
+  // arrived already).
+  auto it = epochs_.find(proc.job().id());
+  if (it == epochs_.end() || it->second.entries.empty()) return;
+  std::uint32_t live = 0;
+  for (std::uint32_t i = 0; i < proc.job().nprocs(); ++i)
+    if (proc.job().process(i).state() != mpi::ProcState::kFinished) ++live;
+  if (it->second.entries.size() >= live && live > 0) run_round(proc.job().id());
+}
+
+void CollectiveDriver::run_round(std::uint32_t job_id) {
+  ++rounds_;
+  auto entries = std::make_shared<std::vector<Entry>>(std::move(epochs_[job_id].entries));
+  epochs_[job_id].entries.clear();
+  sim::Engine& eng = env_.fs.engine();
+
+  // ---- Plan the round (assume one target file per round; benchmarks obey
+  // this, and ROMIO plans per file handle anyway). ----
+  const pfs::FileId file = (*entries)[0].call.file;
+  const bool is_write = (*entries)[0].call.is_write;
+
+  std::uint64_t lo = UINT64_MAX, hi = 0, useful = 0;
+  for (const auto& e : *entries) {
+    for (const auto& s : e.call.segments) {
+      if (s.length == 0) continue;
+      lo = std::min(lo, s.offset);
+      hi = std::max(hi, s.end());
+      useful += s.length;
+    }
+  }
+  if (useful == 0) {  // nothing to move; release everyone after a barrier hop
+    for (auto& e : *entries) eng.after(sim::usec(100), std::move(e.done));
+    return;
+  }
+
+  // Aggregators: one per distinct compute node hosting participants.
+  struct Agg {
+    net::NodeId node;
+    std::uint64_t context;  ///< aggregator's process id as I/O context
+    std::vector<pfs::Segment> segs;
+    bool rmw = false;  ///< write sieving: read the span before writing it
+  };
+  std::vector<Agg> aggs;
+  {
+    std::vector<net::NodeId> nodes;
+    for (const auto& e : *entries) {
+      const net::NodeId n = e.proc->node().id();
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+        nodes.push_back(n);
+        aggs.push_back(Agg{n, e.proc->global_id(), {}});
+      }
+    }
+    std::sort(aggs.begin(), aggs.end(), [](const Agg& a, const Agg& b) {
+      return a.node < b.node;
+    });
+    if (params_.max_aggregators > 0 && aggs.size() > params_.max_aggregators)
+      aggs.resize(params_.max_aggregators);
+  }
+  const std::uint64_t nagg = aggs.size();
+  const std::uint64_t extent = hi - lo;
+  const std::uint64_t domain = (extent + nagg - 1) / nagg;
+
+  // Split each rank's segments over the aggregators' file domains and track
+  // the shuffle volume per (aggregator, rank).
+  struct Shuffle {
+    net::NodeId agg_node;
+    net::NodeId proc_node;
+    std::uint64_t bytes;
+  };
+  std::map<std::pair<std::uint64_t, net::NodeId>, std::uint64_t> shuffle_map;
+  std::map<std::pair<std::uint64_t, net::NodeId>, std::uint64_t> meta_map;
+  for (const auto& e : *entries) {
+    const net::NodeId pnode = e.proc->node().id();
+    for (const auto& s : e.call.segments) {
+      std::uint64_t off = s.offset, rem = s.length;
+      while (rem > 0) {
+        const std::uint64_t a = std::min((off - lo) / domain, nagg - 1);
+        const std::uint64_t dom_end = lo + (a + 1) * domain;
+        const std::uint64_t take = std::min(rem, dom_end - off);
+        aggs[a].segs.push_back(pfs::Segment{off, take});
+        shuffle_map[{a, pnode}] += take;
+        meta_map[{a, pnode}] += 16;  // flattened (offset,len) descriptor
+        off += take;
+        rem -= take;
+      }
+    }
+  }
+
+  // Data sieving decision per aggregator.
+  for (auto& a : aggs) {
+    a.segs = sort_and_merge(std::move(a.segs));
+    if (a.segs.size() <= 1) continue;
+    const std::uint64_t span = a.segs.back().end() - a.segs.front().offset;
+    std::uint64_t use = 0;
+    for (const auto& s : a.segs) use += s.length;
+    const bool dense = span <= params_.sieve_buffer &&
+                       static_cast<double>(use) / static_cast<double>(span) >=
+                           params_.sieve_min_density;
+    if (!dense) continue;
+    if (!is_write) {
+      a.segs = {pfs::Segment{a.segs.front().offset, span}};
+    } else if (params_.write_sieving) {
+      // RMW: the whole span is read first, then written back patched.
+      a.segs = {pfs::Segment{a.segs.front().offset, span}};
+      a.rmw = true;
+    }
+  }
+
+  // Exchange bookkeeping CPU: every rank packs/unpacks state that grows with
+  // the participant count.
+  const sim::Time cpu =
+      params_.exchange_cpu_per_rank * static_cast<sim::Time>(entries->size());
+
+  // ---- Execute the phases. ----
+  auto finish_all = [entries, &eng, cpu] {
+    for (auto& e : *entries) eng.after(cpu, std::move(e.done));
+  };
+
+  auto do_agg_io = [this, aggs, file, is_write, entries, shuffle_map, finish_all,
+                    &eng]() mutable {
+    auto pending = std::make_shared<std::size_t>(0);
+    for (const auto& a : aggs)
+      if (!a.segs.empty()) ++*pending;
+    auto after_io = [this, pending, shuffle_map, aggs, is_write, entries, finish_all,
+                     &eng]() mutable {
+      if (--*pending > 0) return;
+      if (is_write) {  // data travelled before the write; just release
+        finish_all();
+        return;
+      }
+      // Read shuffle: aggregators scatter data to owner ranks.
+      auto msgs = std::make_shared<std::size_t>(0);
+      for (const auto& [key, bytes] : shuffle_map)
+        if (bytes > 0) ++*msgs;
+      if (*msgs == 0) {
+        finish_all();
+        return;
+      }
+      for (const auto& [key, bytes] : shuffle_map) {
+        if (bytes == 0) continue;
+        shuffle_bytes_ += bytes;
+        env_.net.send(aggs[key.first].node, key.second, bytes,
+                      [msgs, finish_all]() mutable {
+                        if (--*msgs == 0) finish_all();
+                      });
+      }
+    };
+    bool any = false;
+    for (const auto& a : aggs) {
+      if (a.segs.empty()) continue;
+      any = true;
+      pfs::Client& client = env_.clients.for_node(a.node);
+      if (a.rmw) {
+        // Write sieving: fetch the span, patch in memory, write it back.
+        client.io(file, a.segs, /*is_write=*/false, a.context,
+                  [&client, file, a, after_io](std::uint64_t) mutable {
+                    client.io(file, a.segs, /*is_write=*/true, a.context,
+                              [after_io](std::uint64_t) mutable { after_io(); });
+                  });
+      } else {
+        client.io(file, a.segs, is_write, a.context,
+                  [after_io](std::uint64_t) mutable { after_io(); });
+      }
+    }
+    if (!any) finish_all();
+  };
+
+  // Phase 1: metadata exchange (everyone ships request lists to aggregators),
+  // plus, for writes, the data shuffle owner -> aggregator.
+  auto meta_pending = std::make_shared<std::size_t>(0);
+  auto after_meta = [meta_pending, do_agg_io]() mutable {
+    if (--*meta_pending == 0) do_agg_io();
+  };
+  std::vector<std::tuple<net::NodeId, net::NodeId, std::uint64_t>> msgs;
+  for (const auto& [key, meta_bytes] : meta_map) {
+    std::uint64_t bytes = 64 + meta_bytes;
+    if (is_write) bytes += shuffle_map[key];  // ship payload with descriptors
+    if (is_write) shuffle_bytes_ += shuffle_map[key];
+    msgs.emplace_back(key.second, aggs[key.first].node, bytes);
+  }
+  *meta_pending = msgs.size();
+  if (msgs.empty()) {
+    do_agg_io();
+    return;
+  }
+  for (const auto& [from, to, bytes] : msgs) env_.net.send(from, to, bytes, after_meta);
+}
+
+}  // namespace dpar::mpiio

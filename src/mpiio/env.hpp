@@ -1,0 +1,50 @@
+// Shared plumbing for MPI-IO driver implementations: per-node PFS clients,
+// and the ADIO-style request observer that feeds the EMC daemon.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pfs/file_system.hpp"
+#include "sim/time.hpp"
+
+namespace dpar::mpiio {
+
+/// One PFS client per compute node, created on demand.
+class ClientPool {
+ public:
+  explicit ClientPool(pfs::FileSystem& fs) : fs_(fs) {}
+
+  pfs::Client& for_node(net::NodeId node) {
+    auto it = clients_.find(node);
+    if (it == clients_.end())
+      it = clients_.emplace(node, std::make_unique<pfs::Client>(fs_, node)).first;
+    return *it->second;
+  }
+
+ private:
+  pfs::FileSystem& fs_;
+  std::unordered_map<net::NodeId, std::unique_ptr<pfs::Client>> clients_;
+};
+
+/// Observation hook the instrumented ADIO functions call on every
+/// application I/O request; EMC derives ReqDist from it (§IV-B).
+class RequestObserver {
+ public:
+  virtual ~RequestObserver() = default;
+  virtual void observe(std::uint32_t job_id, pfs::FileId file,
+                       const std::vector<pfs::Segment>& segments, sim::Time now) = 0;
+};
+
+/// Everything a driver needs to reach the storage system.
+struct IoEnv {
+  pfs::FileSystem& fs;
+  ClientPool& clients;
+  net::Network& net;
+  RequestObserver* observer = nullptr;  ///< optional
+};
+
+}  // namespace dpar::mpiio

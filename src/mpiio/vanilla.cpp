@@ -1,0 +1,40 @@
+#include "mpiio/vanilla.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace dpar::mpiio {
+
+void VanillaDriver::io(mpi::Process& proc, const mpi::IoCall& call,
+                       std::function<void()> done) {
+  if (env_.observer)
+    env_.observer->observe(proc.job().id(), call.file, call.segments,
+                           env_.fs.engine().now());
+  raw_io(proc, call, std::move(done));
+}
+
+void VanillaDriver::raw_io(mpi::Process& proc, const mpi::IoCall& call,
+                           std::function<void()> done) {
+  if (piecewise_strided_ && call.segments.size() > 1) {
+    issue_piece(proc, std::make_shared<mpi::IoCall>(call), 0, std::move(done));
+    return;
+  }
+  pfs::Client& client = env_.clients.for_node(proc.node().id());
+  client.io(call.file, call.segments, call.is_write, proc.global_id(),
+            [done = std::move(done)](std::uint64_t) { done(); });
+}
+
+void VanillaDriver::issue_piece(mpi::Process& proc, std::shared_ptr<mpi::IoCall> call,
+                                std::size_t index, std::function<void()> done) {
+  if (index >= call->segments.size()) {
+    done();
+    return;
+  }
+  pfs::Client& client = env_.clients.for_node(proc.node().id());
+  client.io(call->file, {call->segments[index]}, call->is_write, proc.global_id(),
+            [this, &proc, call, index, done = std::move(done)](std::uint64_t) mutable {
+              issue_piece(proc, call, index + 1, std::move(done));
+            });
+}
+
+}  // namespace dpar::mpiio

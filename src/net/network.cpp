@@ -1,0 +1,48 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dpar::net {
+
+Network::Network(sim::Engine& eng, std::uint32_t num_nodes, NetParams params)
+    : eng_(eng), params_(params), jitter_rng_(params.seed) {
+  nics_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    Nic nic;
+    nic.tx = std::make_unique<sim::FifoResource>(eng_);
+    nic.rx = std::make_unique<sim::FifoResource>(eng_);
+    nics_.push_back(std::move(nic));
+  }
+}
+
+void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
+                   std::function<void()> delivered) {
+  if (from >= nics_.size() || to >= nics_.size())
+    throw std::out_of_range("Network::send: bad node id");
+  ++messages_;
+  bytes_ += bytes;
+  if (from == to) {
+    // Local delivery: memory copy, no NIC involvement. Charge a token cost so
+    // that local cache hits are cheap but not free.
+    eng_.after(sim::usec(5) + sim::transfer_time(bytes, 4e9), std::move(delivered));
+    return;
+  }
+  const std::uint64_t wire_bytes = bytes + params_.per_message_header;
+  const sim::Time tx_time = sim::transfer_time(wire_bytes, params_.bandwidth_bytes_per_s);
+  const sim::Time hop =
+      params_.switch_latency +
+      (params_.latency_jitter > 0
+           ? static_cast<sim::Time>(jitter_rng_.uniform(
+                 static_cast<std::uint64_t>(params_.latency_jitter)))
+           : 0);
+  nics_[from].tx->submit(tx_time, [this, to, wire_bytes, hop, cb = std::move(delivered)]() mutable {
+    eng_.after(hop, [this, to, wire_bytes, cb = std::move(cb)]() mutable {
+      const sim::Time rx_time =
+          sim::transfer_time(wire_bytes, params_.bandwidth_bytes_per_s);
+      nics_[to].rx->submit(rx_time, std::move(cb));
+    });
+  });
+}
+
+}  // namespace dpar::net

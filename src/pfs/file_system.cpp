@@ -1,0 +1,94 @@
+#include "pfs/file_system.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dpar::pfs {
+
+FileSystem::FileSystem(sim::Engine& eng, net::Network& net, net::NodeId metadata_node,
+                       std::vector<DataServer*> servers, StripeLayout layout)
+    : eng_(eng),
+      net_(net),
+      metadata_node_(metadata_node),
+      servers_(std::move(servers)),
+      layout_(layout) {
+  if (servers_.empty()) throw std::invalid_argument("FileSystem: no data servers");
+  layout_.num_servers = static_cast<std::uint32_t>(servers_.size());
+}
+
+FileId FileSystem::create(const std::string& name, std::uint64_t size) {
+  const FileId id = next_file_id_++;
+  files_.emplace(id, FileInfo{id, name, size});
+  for (std::uint32_t s = 0; s < layout_.num_servers; ++s) {
+    // Allocate the server's striped share (rounded up one unit for slack).
+    const std::uint64_t share = layout_.server_share(s, size) + layout_.unit_bytes;
+    servers_[s]->allocate(id, share);
+  }
+  return id;
+}
+
+void Client::open(FileId file, std::function<void()> done) {
+  (void)file;
+  // Request to the metadata server and reply, both small messages.
+  auto& net = fs_.network();
+  const auto mds = fs_.metadata_node();
+  net.send(node_, mds, 128, [this, &net, mds, done = std::move(done)]() mutable {
+    net.send(mds, node_, 256, std::move(done));
+  });
+}
+
+void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write,
+                std::uint64_t context, std::function<void(std::uint64_t)> done) {
+  ++calls_;
+  std::vector<std::vector<ServerRun>> per_server(fs_.num_servers());
+  std::uint64_t total_bytes = 0;
+  for (const Segment& seg : segments) {
+    if (seg.length == 0) continue;
+    total_bytes += seg.length;
+    decompose_segment(fs_.layout(), seg, per_server);
+  }
+
+  std::uint32_t involved = 0;
+  for (const auto& runs : per_server)
+    if (!runs.empty()) ++involved;
+  if (involved == 0) {
+    fs_.engine().after(0, [done = std::move(done)] { done(0); });
+    return;
+  }
+
+  auto outstanding = std::make_shared<std::uint32_t>(involved);
+  auto done_shared = std::make_shared<std::function<void(std::uint64_t)>>(std::move(done));
+  for (std::uint32_t s = 0; s < fs_.num_servers(); ++s) {
+    if (per_server[s].empty()) continue;
+    DataServer& srv = fs_.server(s);
+    const std::uint64_t run_bytes = [&] {
+      std::uint64_t sum = 0;
+      for (const auto& r : per_server[s]) sum += r.length;
+      return sum;
+    }();
+    // Request message: header + run descriptors (+ payload for writes).
+    const std::uint64_t req_msg = 96 + 16 * per_server[s].size() + (is_write ? run_bytes : 0);
+    const std::uint64_t reply_msg = is_write ? 64 : run_bytes + 64;
+
+    ServerIoRequest req;
+    req.file = file;
+    req.is_write = is_write;
+    req.context = context;
+    req.runs = std::move(per_server[s]);
+
+    auto& net = fs_.network();
+    const net::NodeId srv_node = srv.node();
+    const net::NodeId client_node = node_;
+    req.done = [&net, srv_node, client_node, reply_msg, outstanding, done_shared,
+                total_bytes] {
+      net.send(srv_node, client_node, reply_msg, [outstanding, done_shared, total_bytes] {
+        if (--*outstanding == 0) (*done_shared)(total_bytes);
+      });
+    };
+    net.send(client_node, srv_node, req_msg,
+             [&srv, req = std::move(req)]() mutable { srv.handle(std::move(req)); });
+  }
+}
+
+}  // namespace dpar::pfs

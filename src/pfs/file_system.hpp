@@ -1,0 +1,76 @@
+// Parallel file system front: file creation/striping metadata plus the
+// client-side request path (list I/O decomposition, per-server messages).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/server.hpp"
+#include "sim/engine.hpp"
+
+namespace dpar::pfs {
+
+struct FileInfo {
+  FileId id = 0;
+  std::string name;
+  std::uint64_t size = 0;
+};
+
+/// Metadata + data-server ensemble. One instance per simulated cluster.
+class FileSystem {
+ public:
+  FileSystem(sim::Engine& eng, net::Network& net, net::NodeId metadata_node,
+             std::vector<DataServer*> servers, StripeLayout layout);
+
+  /// Create a file of `size` bytes: allocates extents on every data server.
+  FileId create(const std::string& name, std::uint64_t size);
+
+  const FileInfo& info(FileId id) const { return files_.at(id); }
+  const StripeLayout& layout() const { return layout_; }
+  std::uint32_t num_servers() const { return static_cast<std::uint32_t>(servers_.size()); }
+  DataServer& server(std::uint32_t i) { return *servers_[i]; }
+  net::NodeId metadata_node() const { return metadata_node_; }
+  net::Network& network() { return net_; }
+  sim::Engine& engine() { return eng_; }
+
+ private:
+  sim::Engine& eng_;
+  net::Network& net_;
+  net::NodeId metadata_node_;
+  std::vector<DataServer*> servers_;
+  StripeLayout layout_;
+  std::unordered_map<FileId, FileInfo> files_;
+  FileId next_file_id_ = 1;
+};
+
+/// Client-side PFS access from one compute node.
+class Client {
+ public:
+  Client(FileSystem& fs, net::NodeId node) : fs_(fs), node_(node) {}
+
+  /// Metadata round trip (open/stat).
+  void open(FileId file, std::function<void()> done);
+
+  /// List I/O: read or write `segments` of `file`. Segments are decomposed
+  /// into per-server runs (order-preserving, contiguity-coalescing) and one
+  /// request message goes to each involved server. `done(bytes)` fires when
+  /// every server has replied.
+  void io(FileId file, const std::vector<Segment>& segments, bool is_write,
+          std::uint64_t context, std::function<void(std::uint64_t)> done);
+
+  net::NodeId node() const { return node_; }
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  FileSystem& fs_;
+  net::NodeId node_;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace dpar::pfs

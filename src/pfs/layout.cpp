@@ -1,0 +1,26 @@
+#include "pfs/layout.hpp"
+
+namespace dpar::pfs {
+
+void decompose_segment(const StripeLayout& layout, const Segment& seg,
+                       std::vector<std::vector<ServerRun>>& per_server) {
+  per_server.resize(layout.num_servers);
+  std::uint64_t off = seg.offset;
+  std::uint64_t remaining = seg.length;
+  while (remaining > 0) {
+    const std::uint64_t within = off % layout.unit_bytes;
+    const std::uint64_t take = std::min(remaining, layout.unit_bytes - within);
+    const std::uint32_t server = layout.server_of(off);
+    const std::uint64_t local = layout.server_local_offset(off);
+    auto& runs = per_server[server];
+    if (!runs.empty() && runs.back().local_offset + runs.back().length == local) {
+      runs.back().length += take;
+    } else {
+      runs.push_back(ServerRun{local, take});
+    }
+    off += take;
+    remaining -= take;
+  }
+}
+
+}  // namespace dpar::pfs

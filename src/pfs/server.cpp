@@ -1,0 +1,98 @@
+#include "pfs/server.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dpar::pfs {
+
+DataServer::DataServer(sim::Engine& eng, net::NodeId node,
+                       std::unique_ptr<disk::BlockDevice> dev, ServerParams params)
+    : eng_(eng),
+      node_(node),
+      dev_(std::move(dev)),
+      params_(params),
+      cache_(params.page_cache),
+      service_(eng) {}
+
+void DataServer::allocate(FileId file, std::uint64_t bytes) {
+  if (extents_.count(file) != 0) return;  // idempotent
+  const std::uint64_t sectors = disk::bytes_to_sectors(bytes);
+  Extent e{next_free_sector_, sectors};
+  next_free_sector_ += sectors + disk::bytes_to_sectors(gap_bytes_);
+  if (next_free_sector_ > dev_->capacity_sectors())
+    throw std::runtime_error("DataServer: disk full");
+  extents_.emplace(file, e);
+}
+
+disk::BlkTrace& DataServer::trace() {
+  if (auto* d = dynamic_cast<disk::DiskDevice*>(dev_.get())) return d->trace();
+  auto* raid = dynamic_cast<disk::Raid0Device*>(dev_.get());
+  return raid->member(0).trace();
+}
+
+void DataServer::handle(ServerIoRequest req) {
+  ++requests_;
+  const sim::Time cpu =
+      params_.request_base_cost + params_.per_run_cost * static_cast<sim::Time>(req.runs.size());
+  // Request handling passes through the server's service thread first, then
+  // fans out to the disk.
+  auto shared = std::make_shared<ServerIoRequest>(std::move(req));
+  service_.submit(cpu, [this, shared] {
+    auto it = extents_.find(shared->file);
+    if (it == extents_.end())
+      throw std::runtime_error("DataServer::handle: unknown file");
+    const Extent extent = it->second;
+
+    if (shared->is_write) {
+      bytes_written_ += shared->total_bytes();
+    } else {
+      bytes_read_ += shared->total_bytes();
+    }
+
+    auto outstanding = std::make_shared<std::size_t>(shared->runs.size());
+    if (shared->runs.empty()) {
+      if (shared->done) shared->done();
+      return;
+    }
+    for (const ServerRun& run : shared->runs) {
+      // Page cache: resident reads skip the disk entirely; misses may be
+      // extended by a read-ahead window when they continue a sequential
+      // stream. Writes go through to the disk and populate the cache.
+      std::uint64_t length = run.length;
+      if (!shared->is_write && cache_.enabled()) {
+        if (cache_.covers(shared->file, run.local_offset, run.length)) {
+          cache_.note_hit();
+          if (--*outstanding == 0 && shared->done) shared->done();
+          continue;
+        }
+        cache_.note_miss();
+        const std::uint64_t extent_bytes = extent.sectors * disk::kSectorBytes;
+        std::uint64_t ra = cache_.readahead_hint(shared->file, run.local_offset,
+                                                 run.length);
+        if (run.local_offset + length + ra > extent_bytes)
+          ra = extent_bytes > run.local_offset + length
+                   ? extent_bytes - run.local_offset - length
+                   : 0;
+        length += ra;
+      }
+      if (!shared->is_write) disk_bytes_read_ += length;
+      disk::Request dr;
+      dr.id = next_req_id_++;
+      dr.lba = extent.base_lba + run.local_offset / disk::kSectorBytes;
+      dr.sectors = static_cast<std::uint32_t>(disk::bytes_to_sectors(length));
+      if (dr.lba + dr.sectors > extent.base_lba + extent.sectors + 8)
+        throw std::runtime_error("DataServer::handle: run beyond extent");
+      dr.is_write = shared->is_write;
+      dr.context = params_.single_disk_context ? 0 : shared->context;
+      const std::uint64_t local_offset = run.local_offset;
+      dr.done = [this, shared, outstanding, local_offset, length] {
+        if (cache_.enabled()) cache_.insert(shared->file, local_offset, length);
+        if (--*outstanding == 0 && shared->done) shared->done();
+      };
+      dev_->submit(std::move(dr));
+    }
+  });
+}
+
+}  // namespace dpar::pfs

@@ -1,0 +1,100 @@
+// PVFS2-style data server: owns a block device, an extent table mapping
+// (file, server-local offset) to LBNs, and a request-handling service thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/device.hpp"
+#include "net/network.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/server_cache.hpp"
+#include "sim/resource.hpp"
+
+namespace dpar::pfs {
+
+/// A list-I/O request as received by a data server: runs are in the file's
+/// server-local address space, already sorted by the client.
+struct ServerIoRequest {
+  FileId file = 0;
+  bool is_write = false;
+  std::uint64_t context = 0;  ///< I/O context for the disk scheduler
+  std::vector<ServerRun> runs;
+  std::function<void()> done;  ///< invoked at the server when disk I/O completes
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& r : runs) sum += r.length;
+    return sum;
+  }
+};
+
+struct ServerParams {
+  sim::Time request_base_cost = sim::usec(30);   ///< per-message handling CPU
+  sim::Time per_run_cost = sim::usec(3);         ///< per list-I/O run CPU
+  /// PVFS2 data servers issue all disk I/O from one user-space server
+  /// process, so the kernel disk scheduler sees a single I/O context and can
+  /// only reorder what is simultaneously queued (§II: "the disk scheduler
+  /// sees a limited number of outstanding requests"). Set false to tag disk
+  /// requests with the originating MPI process instead (kernel-level I/O
+  /// path; used by the ablation bench).
+  bool single_disk_context = true;
+  /// Server page cache with read-ahead; capacity 0 (the default) keeps it
+  /// off, matching the paper's cache-flushed runs.
+  ServerCacheParams page_cache;
+};
+
+class DataServer {
+ public:
+  DataServer(sim::Engine& eng, net::NodeId node, std::unique_ptr<disk::BlockDevice> dev,
+             ServerParams params = {});
+
+  /// Reserve an on-disk extent of `bytes` for `file`. The allocator is a
+  /// bump allocator with an inter-file gap, so files created in sequence
+  /// occupy disjoint disk regions — seeks between two programs' files are
+  /// then long, as on a real aged file system.
+  void allocate(FileId file, std::uint64_t bytes);
+  bool has_file(FileId file) const { return extents_.count(file) != 0; }
+  void set_inter_file_gap(std::uint64_t bytes) { gap_bytes_ = bytes; }
+
+  /// Handle a request that has already been delivered to this node.
+  void handle(ServerIoRequest req);
+
+  net::NodeId node() const { return node_; }
+  disk::BlockDevice& device() { return *dev_; }
+  ServerCache& page_cache() { return cache_; }
+  /// The blktrace of the underlying device (first member for RAID).
+  disk::BlkTrace& trace();
+  /// Bytes served to clients (from disk or the page cache).
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Bytes actually read from the disk (includes read-ahead).
+  std::uint64_t disk_bytes_read() const { return disk_bytes_read_; }
+  std::uint64_t requests_handled() const { return requests_; }
+
+ private:
+  struct Extent {
+    std::uint64_t base_lba;
+    std::uint64_t sectors;
+  };
+
+  sim::Engine& eng_;
+  net::NodeId node_;
+  std::unique_ptr<disk::BlockDevice> dev_;
+  ServerParams params_;
+  ServerCache cache_;
+  sim::FifoResource service_;
+  std::unordered_map<FileId, Extent> extents_;
+  std::uint64_t next_free_sector_ = 2048;  ///< leave a small metadata region
+  std::uint64_t gap_bytes_ = 1ull << 20;
+  std::uint64_t next_req_id_ = 1;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t disk_bytes_read_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace dpar::pfs

@@ -1,0 +1,63 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dpar::sim {
+
+EventId Engine::at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Engine::at: time in the past");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Item{t, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id) return false;
+  if (pending_.erase(id.seq) == 0) return false;  // already fired or cancelled
+  cancelled_.insert(id.seq);
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; move out via const_cast, standard idiom
+    // since pop() immediately destroys the slot.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(item.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_.erase(item.seq);
+    assert(item.t >= now_);
+    now_ = item.t;
+    ++fired_;
+    item.cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void Engine::run_until(Time t) {
+  while (!heap_.empty()) {
+    const Item& top = heap_.top();
+    if (cancelled_.count(top.seq) != 0) {
+      cancelled_.erase(top.seq);
+      heap_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace dpar::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over a priority queue of (time, sequence)
+// ordered callbacks. Sequence numbers break ties so that two events scheduled
+// for the same instant always fire in scheduling order, which makes every run
+// deterministic. Cancellation is lazy: cancelled events stay in the heap and
+// are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dpar::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;  ///< 0 means "no event".
+  explicit operator bool() const { return seq != 0; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  EventId at(Time t, Callback cb);
+
+  /// Schedule `cb` after `delay` nanoseconds from now.
+  EventId after(Time delay, Callback cb) { return at(now_ + delay, std::move(cb)); }
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or `id` is empty.
+  bool cancel(EventId id);
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Fire the next event. Returns false when no events remain.
+  bool step();
+
+  /// Run until the queue drains or `max_events` have fired.
+  /// Returns the number of events fired.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(Time t);
+
+  /// True when no live events are pending.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of events fired so far (for perf accounting and tests).
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace dpar::sim

@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// xoshiro256** seeded via splitmix64. Self-contained (no <random> engine
+// state-size surprises across standard libraries) so that experiment runs are
+// reproducible byte-for-byte on any platform.
+#pragma once
+
+#include <cstdint>
+
+namespace dpar::sim {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic content hash used to synthesize "file data" values for
+/// data-dependent workloads (see wl::DependentReadProgram).
+constexpr std::uint64_t content_hash(std::uint64_t file_id, std::uint64_t offset) {
+  return splitmix64(splitmix64(file_id ^ 0xd6e8feb86659fd93ULL) ^ offset);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x = splitmix64(x);
+      w = x;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t n) {
+    if (n == 0) return 0;
+    // Lemire's multiply-shift rejection-free variant is overkill here;
+    // modulo bias is negligible for simulation parameters (n << 2^64).
+    return next_u64() % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace dpar::sim

@@ -1,0 +1,159 @@
+// Small statistics helpers shared across the simulator: running moments,
+// exponentially-weighted moving averages, and a time-window slot sampler used
+// by the EMC locality daemons.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dpar::sim {
+
+/// Welford running mean/variance with min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+  void reset() { *this = RunningStat{}; }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.25) : alpha_(alpha) {}
+  void add(double x) {
+    value_ = seen_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seen_ = true;
+  }
+  bool has_value() const { return seen_; }
+  double value() const { return value_; }
+  void reset() { seen_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Accumulates samples into fixed-width time slots; the EMC daemons evaluate
+/// per-slot averages ("requests observed ... in constant time slots", §IV-B).
+class SlotSampler {
+ public:
+  explicit SlotSampler(Time slot_width = msec(500)) : width_(slot_width) {}
+
+  /// Add a sample at simulated time `t`.
+  void add(Time t, double value) {
+    roll(t);
+    cur_.add(value);
+  }
+
+  /// Average of the most recently *completed* slot; 0 if none.
+  double last_slot_mean(Time now) {
+    roll(now);
+    return last_mean_;
+  }
+  std::uint64_t last_slot_count(Time now) {
+    roll(now);
+    return last_count_;
+  }
+  Time slot_width() const { return width_; }
+
+ private:
+  void roll(Time t) {
+    const std::int64_t slot = t / width_;
+    if (slot != cur_slot_) {
+      if (cur_.count() > 0) {
+        last_mean_ = cur_.mean();
+        last_count_ = cur_.count();
+      } else if (slot > cur_slot_ + 1) {
+        // A fully empty intervening slot clears the reading.
+        last_mean_ = 0.0;
+        last_count_ = 0;
+      }
+      cur_.reset();
+      cur_slot_ = slot;
+    }
+  }
+
+  Time width_;
+  std::int64_t cur_slot_ = 0;
+  RunningStat cur_;
+  double last_mean_ = 0.0;
+  std::uint64_t last_count_ = 0;
+};
+
+/// (time, value) series for timeline figures (Fig 7a/7b).
+struct TimeSeries {
+  std::vector<std::pair<Time, double>> points;
+  void add(Time t, double v) { points.emplace_back(t, v); }
+};
+
+/// Log-spaced histogram (powers of two) with percentile queries; used for
+/// per-call I/O latency distributions.
+class Histogram {
+ public:
+  void add(double x) {
+    ++buckets_[bucket_of(x)];
+    ++count_;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Value at quantile q in [0,1] (upper bound of the containing bucket).
+  double percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return bucket_upper(i);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+
+  static std::size_t bucket_of(double x) {
+    if (x <= 1.0) return 0;
+    const int e = static_cast<int>(std::ceil(std::log2(x)));
+    return std::min<std::size_t>(static_cast<std::size_t>(e), kBuckets - 1);
+  }
+  static double bucket_upper(std::size_t i) { return std::ldexp(1.0, static_cast<int>(i)); }
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace dpar::sim

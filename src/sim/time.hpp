@@ -1,0 +1,40 @@
+// Simulated time: 64-bit signed nanoseconds since simulation start.
+//
+// Integer nanoseconds keep event ordering exact and runs bit-reproducible; all
+// rate math converts through double at the edges only.
+#pragma once
+
+#include <cstdint>
+
+namespace dpar::sim {
+
+/// Simulated time in nanoseconds. Non-negative during a run; signed so that
+/// durations and differences are safe to form.
+using Time = std::int64_t;
+
+inline constexpr Time kNsPerUs = 1'000;
+inline constexpr Time kNsPerMs = 1'000'000;
+inline constexpr Time kNsPerSec = 1'000'000'000;
+
+/// Duration constructors.
+constexpr Time nsec(std::int64_t n) { return n; }
+constexpr Time usec(std::int64_t n) { return n * kNsPerUs; }
+constexpr Time msec(std::int64_t n) { return n * kNsPerMs; }
+constexpr Time secs(std::int64_t n) { return n * kNsPerSec; }
+
+/// Duration from floating-point seconds (rounded to the nearest nanosecond).
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kNsPerSec) + 0.5);
+}
+
+/// Time/duration as floating-point seconds, for reporting and rate math.
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+/// Service time for moving `bytes` at `bytes_per_sec`.
+constexpr Time transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  return from_seconds(static_cast<double>(bytes) / bytes_per_sec);
+}
+
+}  // namespace dpar::sim

@@ -1,0 +1,42 @@
+// Trace-driven workload replay.
+//
+// Runs a recorded per-rank op trace (compute / read / write / barrier)
+// through the simulator, so real applications' I/O logs (e.g. Darshan-style
+// extracts) can be evaluated under every MPI-IO variant. Traces are plain
+// CSV: `rank,op,file,offset,length,duration_us` with op one of
+// compute|read|write|barrier (file/offset/length ignored for compute and
+// barrier, duration ignored for I/O).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/program.hpp"
+
+namespace dpar::wl {
+
+struct TraceOp {
+  enum class Kind { kCompute, kRead, kWrite, kBarrier };
+  std::uint32_t rank = 0;
+  Kind kind = Kind::kCompute;
+  pfs::FileId file = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  sim::Time duration = 0;
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+/// Parse the CSV format; throws std::invalid_argument on malformed rows.
+/// Lines starting with '#' and the optional header row are skipped.
+std::vector<TraceOp> parse_trace_csv(const std::string& text);
+
+/// Serialize ops back to CSV (round-trips through parse_trace_csv).
+std::string format_trace_csv(const std::vector<TraceOp>& ops);
+
+/// Program replaying the ops recorded for `rank` (in trace order).
+std::unique_ptr<mpi::Program> make_trace_replay(std::vector<TraceOp> ops,
+                                                std::uint32_t rank);
+
+}  // namespace dpar::wl

@@ -1,0 +1,363 @@
+// End-to-end tests of the DualPar machinery: ghost pre-execution, the
+// data-driven cycle, write-back, mis-prefetch handling, EMC adaptivity, and
+// comparative behaviour against vanilla/collective I/O.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/testbed.hpp"
+#include "wl/workloads.hpp"
+
+namespace dpar::dualpar {
+namespace {
+
+harness::TestbedConfig small_config() {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  cfg.cores_per_node = 8;
+  return cfg;
+}
+
+TEST(GhostRunner, RecordsReadsUpToQuota) {
+  harness::Testbed tb(small_config());
+  const pfs::FileId f = tb.create_file("a", 64 << 20);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = 64 << 20;
+  dc.segment_size = 64 * 1024;
+  // One process running vanilla, paused immediately; we drive the ghost
+  // manually off its process.
+  auto& job = tb.add_job("t", 1, tb.vanilla(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedNormal);
+  tb.engine().run(1);  // start the job (first event only)
+  bool paused = false;
+  GhostRunner ghost(tb.engine(), job.process(0), /*quota=*/1 << 20,
+                    [&] { paused = true; });
+  mpi::IoCall first;
+  first.file = f;
+  first.segments.push_back(pfs::Segment{0, 64 * 1024});
+  ghost.start(first);
+  tb.engine().run();
+  EXPECT_TRUE(paused);
+  EXPECT_TRUE(ghost.paused());
+  EXPECT_GE(ghost.recorded_bytes(), 1u << 20);
+  // Quota 1 MB at 64 KB*16 per call -> exactly one extra call beyond quota
+  // boundary at most.
+  EXPECT_LE(ghost.recorded_bytes(), (1u << 20) + 16 * 64 * 1024);
+  EXPECT_GE(ghost.predicted().size(), 1u);
+}
+
+TEST(GhostRunner, PausesAtProgramEnd) {
+  harness::Testbed tb(small_config());
+  const pfs::FileId f = tb.create_file("a", 1 << 20);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = 256 * 1024;  // tiny: ends before quota
+  dc.segment_size = 4 * 1024;
+  auto& job = tb.add_job("t", 1, tb.vanilla(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedNormal);
+  tb.engine().run(1);
+  bool paused = false;
+  GhostRunner ghost(tb.engine(), job.process(0), /*quota=*/64 << 20,
+                    [&] { paused = true; });
+  mpi::IoCall first;
+  first.file = f;
+  first.segments.push_back(pfs::Segment{0, 4096});
+  ghost.start(first);
+  tb.engine().run();
+  EXPECT_TRUE(paused);
+  EXPECT_LT(ghost.recorded_bytes(), 64u << 20);
+}
+
+TEST(GhostRunner, StopRequestPausesPromptly) {
+  harness::Testbed tb(small_config());
+  const pfs::FileId f = tb.create_file("a", 64 << 20);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = 64 << 20;
+  dc.segment_size = 4096;
+  dc.compute_per_call = sim::msec(10);  // slow ghost
+  auto& job = tb.add_job("t", 1, tb.vanilla(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedNormal);
+  tb.engine().run(1);
+  bool paused = false;
+  GhostRunner ghost(tb.engine(), job.process(0), 64 << 20, [&] { paused = true; });
+  mpi::IoCall first;
+  first.file = f;
+  first.segments.push_back(pfs::Segment{0, 4096});
+  ghost.start(first);
+  tb.engine().run_until(sim::msec(15));  // mid-computation
+  ghost.stop();
+  tb.engine().run();
+  EXPECT_TRUE(paused);
+  // Far less than the quota was recorded: stop interrupted the run-ahead.
+  EXPECT_LT(ghost.recorded_bytes(), 1u << 20);
+}
+
+TEST(DualPar, ReadWorkloadCompletesWithCycles) {
+  harness::Testbed tb(small_config());
+  const std::uint64_t fsize = 32 << 20;
+  const pfs::FileId f = tb.create_file("a", fsize);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = fsize;
+  dc.segment_size = 16 * 1024;
+  auto& job = tb.add_job("demo", 4, tb.dualpar(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  const auto& st = tb.dualpar().stats();
+  EXPECT_GT(st.cycles, 0u);
+  EXPECT_GT(st.ghost_forks, 0u);
+  EXPECT_GT(st.prefetch_bytes, 0u);
+  EXPECT_GT(st.cache_hit_bytes, 0u);
+  // Every application byte was read exactly once at the application level.
+  EXPECT_EQ(job.total_bytes(), fsize);
+  // Prefetching is accurate for this program: hardly any direct misses.
+  EXPECT_LT(st.miss_direct_bytes, fsize / 10);
+}
+
+TEST(DualPar, WriteWorkloadFlushesEverything) {
+  harness::Testbed tb(small_config());
+  const std::uint64_t fsize = 16 << 20;
+  const pfs::FileId f = tb.create_file("a", fsize);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = fsize;
+  dc.segment_size = 16 * 1024;
+  dc.is_write = true;
+  auto& job = tb.add_job("w", 4, tb.dualpar(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  // All dirty data reached the data servers (write-back cycles + final flush).
+  std::uint64_t written = 0;
+  for (std::uint32_t s = 0; s < tb.num_servers(); ++s)
+    written += tb.server(s).bytes_written();
+  EXPECT_GE(written, fsize);
+  EXPECT_EQ(tb.cache().all_dirty_segments().size(), 0u);
+  EXPECT_GT(tb.dualpar().stats().writeback_bytes, 0u);
+}
+
+TEST(DualPar, WritebackMergesIntoLargeServerRequests) {
+  // 4 processes interleave 16 KB writes covering the file; at the disks the
+  // write-back batch should appear as far fewer, larger requests than the
+  // application issued.
+  harness::Testbed tb(small_config());
+  const std::uint64_t fsize = 8 << 20;
+  const pfs::FileId f = tb.create_file("a", fsize);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = fsize;
+  dc.segment_size = 16 * 1024;
+  dc.is_write = true;
+  tb.add_job("w", 4, tb.dualpar(), [&](std::uint32_t) { return wl::make_demo(dc); },
+             Policy::kForcedDataDriven);
+  tb.run();
+  std::uint64_t disk_requests = 0, disk_bytes = 0;
+  for (std::uint32_t s = 0; s < tb.num_servers(); ++s) {
+    disk_requests += tb.server(s).trace().dispatches();
+    disk_bytes += tb.server(s).bytes_written();
+  }
+  const double mean_request = static_cast<double>(disk_bytes) /
+                              static_cast<double>(disk_requests);
+  EXPECT_GT(mean_request, 48.0 * 1024);  // ~chunk-sized or larger, not 16 KB
+}
+
+TEST(DualPar, BarrierWorkloadDoesNotDeadlock) {
+  harness::Testbed tb(small_config());
+  const std::uint64_t fsize = 8 << 20;
+  const pfs::FileId f = tb.create_file("a", fsize);
+  wl::MpiIoTestConfig mc;
+  mc.file = f;
+  mc.file_size = fsize;
+  mc.request_size = 16 * 1024;
+  mc.barrier_every_call = true;
+  auto& job = tb.add_job("m", 4, tb.dualpar(), [&](std::uint32_t) {
+    return wl::make_mpi_io_test(mc);
+  }, Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.total_bytes(), fsize);
+}
+
+TEST(DualPar, MisprefetchLatchesJobBackToNormal) {
+  harness::Testbed tb(small_config());
+  const pfs::FileId f = tb.create_file("a", 32 << 20);
+  wl::DependentConfig dc;
+  dc.file = f;
+  dc.file_size = 32 << 20;
+  dc.request_size = 64 * 1024;
+  dc.requests = 100;
+  auto& job = tb.add_job("dep", 1, tb.dualpar(), [&](std::uint32_t) {
+    return wl::make_dependent(dc);
+  }, Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.total_bytes(), 100u * 64 * 1024);
+  // The dependent chain defeated pre-execution and EMC turned the mode off.
+  EXPECT_TRUE(tb.emc().latched_off(job.id()));
+  // Only a bounded number of cycles ran before the latch.
+  EXPECT_LE(tb.dualpar().stats().cycles, 6u);
+}
+
+TEST(DualPar, DeadlineBoundsSlowGhosts) {
+  harness::Testbed tb(small_config());
+  const pfs::FileId f = tb.create_file("a", 32 << 20);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = 32 << 20;
+  dc.segment_size = 16 * 1024;
+  dc.compute_per_call = sim::msec(200);  // ghost needs ages to fill its quota
+  harness::TestbedConfig cfg = small_config();
+  cfg.dualpar.preexec_deadline_max = sim::msec(300);
+  harness::Testbed tb2(cfg);
+  const pfs::FileId f2 = tb2.create_file("a", 32 << 20);
+  dc.file = f2;
+  auto& job = tb2.add_job("slow", 2, tb2.dualpar(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedDataDriven);
+  tb2.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_GT(tb2.dualpar().stats().deadline_expiries, 0u);
+}
+
+TEST(DualPar, NormalModeBehavesLikeVanilla) {
+  auto run = [&](bool use_dualpar_normal) {
+    harness::Testbed tb(small_config());
+    const std::uint64_t fsize = 8 << 20;
+    const pfs::FileId f = tb.create_file("a", fsize);
+    wl::DemoConfig dc;
+    dc.file = f;
+    dc.file_size = fsize;
+    dc.segment_size = 64 * 1024;
+    mpi::IoDriver& drv =
+        use_dualpar_normal ? static_cast<mpi::IoDriver&>(tb.dualpar())
+                           : static_cast<mpi::IoDriver&>(tb.vanilla());
+    auto& job = tb.add_job("n", 2, drv, [&](std::uint32_t) { return wl::make_demo(dc); },
+                           Policy::kForcedNormal);
+    tb.run();
+    return job.completion_time();
+  };
+  const auto t_dualpar = run(true);
+  const auto t_vanilla = run(false);
+  EXPECT_EQ(t_dualpar, t_vanilla);  // identical path, deterministic engine
+}
+
+TEST(DualPar, DeterministicAcrossRuns) {
+  auto run = [&] {
+    harness::Testbed tb(small_config());
+    const pfs::FileId f = tb.create_file("a", 16 << 20);
+    wl::DemoConfig dc;
+    dc.file = f;
+    dc.file_size = 16 << 20;
+    dc.segment_size = 16 * 1024;
+    auto& job = tb.add_job("d", 4, tb.dualpar(), [&](std::uint32_t) {
+      return wl::make_demo(dc);
+    }, Policy::kForcedDataDriven);
+    tb.run();
+    return job.completion_time();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DualPar, BeatsVanillaOnNoncontiguousAccess) {
+  auto run = [&](int which) {  // 0 vanilla, 1 collective, 2 dualpar
+    harness::Testbed tb(small_config());
+    wl::NoncontigConfig nc;
+    nc.columns = 4;  // matches nprocs
+    nc.elmt_count = 512;  // 2 KB-wide columns
+    nc.rows = 1024;
+    const std::uint64_t fsize = nc.columns * nc.elmt_count * 4 * nc.rows;
+    nc.file = tb.create_file("a", fsize);
+    nc.collective = (which == 1);
+    mpi::IoDriver& drv = which == 0 ? static_cast<mpi::IoDriver&>(tb.vanilla())
+                       : which == 1 ? static_cast<mpi::IoDriver&>(tb.collective())
+                                    : static_cast<mpi::IoDriver&>(tb.dualpar());
+    auto& job = tb.add_job("nc", 4, drv, [&](std::uint32_t) {
+      return wl::make_noncontig(nc);
+    }, which == 2 ? Policy::kForcedDataDriven : Policy::kForcedNormal);
+    tb.run();
+    return tb.job_throughput_mbs(job);
+  };
+  const double vanilla = run(0);
+  const double coll = run(1);
+  const double dualpar = run(2);
+  EXPECT_GT(coll, vanilla);     // collective I/O helps noncontig (§V-B)
+  EXPECT_GT(dualpar, vanilla);  // and DualPar helps at least as much
+}
+
+TEST(DualPar, AdaptiveModeEngagesUnderInterference) {
+  // Two strided-read jobs sharing the servers: seek distances explode,
+  // ReqDist stays small, EMC must flip both jobs to data-driven mode.
+  harness::TestbedConfig cfg = small_config();
+  harness::Testbed tb(cfg);
+  const std::uint64_t fsize = 24 << 20;
+  wl::DemoConfig d1, d2;
+  d1.file = tb.create_file("a", fsize);
+  d2.file = tb.create_file("b", fsize);
+  d1.file_size = d2.file_size = fsize;
+  d1.segment_size = d2.segment_size = 16 * 1024;
+  auto& j1 = tb.add_job("a", 2, tb.dualpar(), [&](std::uint32_t) {
+    return wl::make_demo(d1);
+  }, Policy::kAdaptive);
+  auto& j2 = tb.add_job("b", 2, tb.dualpar(), [&](std::uint32_t) {
+    return wl::make_demo(d2);
+  }, Policy::kAdaptive);
+  tb.run();
+  EXPECT_TRUE(j1.finished());
+  EXPECT_TRUE(j2.finished());
+  EXPECT_GT(tb.emc().mode_switches(), 0u);
+  EXPECT_GT(tb.dualpar().stats().cycles, 0u);
+}
+
+TEST(Preexec, PrefetchesAheadAndCompletes) {
+  harness::Testbed tb(small_config());
+  const std::uint64_t fsize = 16 << 20;
+  const pfs::FileId f = tb.create_file("a", fsize);
+  wl::DemoConfig dc;
+  dc.file = f;
+  dc.file_size = fsize;
+  dc.segment_size = 16 * 1024;
+  dc.compute_per_call = sim::msec(2);
+  auto& job = tb.add_job("s2", 2, tb.preexec(), [&](std::uint32_t) {
+    return wl::make_demo(dc);
+  }, Policy::kForcedNormal);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.total_bytes(), fsize);
+  const auto& st = tb.preexec().stats();
+  EXPECT_GT(st.prefetch_issued_bytes, 0u);
+  EXPECT_GT(st.hits + st.waits, 0u);
+}
+
+TEST(Preexec, HidesIoUnderComputeAtLowIoRatio) {
+  // With plenty of compute per call, Strategy 2 should beat Strategy 1
+  // (vanilla) because prefetching overlaps I/O with computation (§II).
+  auto run = [&](bool prefetch) {
+    harness::Testbed tb(small_config());
+    const std::uint64_t fsize = 8 << 20;
+    const pfs::FileId f = tb.create_file("a", fsize);
+    wl::DemoConfig dc;
+    dc.file = f;
+    dc.file_size = fsize;
+    dc.segment_size = 16 * 1024;
+    dc.compute_per_call = sim::msec(5);
+    mpi::IoDriver& drv = prefetch ? static_cast<mpi::IoDriver&>(tb.preexec())
+                                  : static_cast<mpi::IoDriver&>(tb.vanilla());
+    auto& job = tb.add_job("s", 2, drv, [&](std::uint32_t) { return wl::make_demo(dc); },
+                           Policy::kForcedNormal);
+    tb.run();
+    return job.completion_time();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace dpar::dualpar

@@ -1,0 +1,144 @@
+// Robustness: invalid configurations fail loudly, boundary workloads behave,
+// and the public API rejects misuse instead of corrupting state.
+#include <gtest/gtest.h>
+
+#include "harness/testbed.hpp"
+#include "wl/workloads.hpp"
+
+namespace dpar {
+namespace {
+
+TEST(ConfigValidation, RejectsDegenerateClusters) {
+  {
+    harness::TestbedConfig cfg;
+    cfg.data_servers = 0;
+    EXPECT_THROW(harness::Testbed tb(cfg), std::invalid_argument);
+  }
+  {
+    harness::TestbedConfig cfg;
+    cfg.compute_nodes = 0;
+    EXPECT_THROW(harness::Testbed tb(cfg), std::invalid_argument);
+  }
+  {
+    harness::TestbedConfig cfg;
+    cfg.cores_per_node = 0;
+    EXPECT_THROW(harness::Testbed tb(cfg), std::invalid_argument);
+  }
+  {
+    harness::TestbedConfig cfg;
+    cfg.stripe_unit = 0;
+    EXPECT_THROW(harness::Testbed tb(cfg), std::invalid_argument);
+  }
+  {
+    harness::TestbedConfig cfg;
+    cfg.dualpar.cache_quota = 0;
+    EXPECT_THROW(harness::Testbed tb(cfg), std::invalid_argument);
+  }
+}
+
+TEST(ConfigValidation, MinimalClusterWorks) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 1;
+  cfg.compute_nodes = 1;
+  cfg.cores_per_node = 1;
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 1 << 20);
+  dc.file_size = 1 << 20;
+  dc.segment_size = 16 * 1024;
+  auto& job = tb.add_job("j", 1, tb.dualpar(),
+                         [dc](std::uint32_t) { return wl::make_demo(dc); },
+                         dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_EQ(job.total_bytes(), 1u << 20);
+}
+
+TEST(Boundaries, ZeroLengthFileJobEndsCleanly) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 2;
+  cfg.compute_nodes = 1;
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 1 << 20);
+  dc.file_size = 0;
+  auto& job = tb.add_job("j", 4, tb.dualpar(),
+                         [dc](std::uint32_t) { return wl::make_demo(dc); },
+                         dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.total_bytes(), 0u);
+}
+
+TEST(Boundaries, SingleByteRequestsSurviveTheFullStack) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  harness::Testbed tb(cfg);
+  wl::NoncontigConfig nc;
+  nc.columns = 4;
+  nc.elmt_count = 1;  // 4-byte elements — BTIO-at-256-procs territory
+  nc.rows = 64;
+  nc.file = tb.create_file("f", nc.columns * 4 * nc.rows);
+  auto& job = tb.add_job("tiny", 4, tb.dualpar(),
+                         [nc](std::uint32_t) { return wl::make_noncontig(nc); },
+                         dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_EQ(job.total_bytes(), 4u * 4 * 64);
+}
+
+TEST(Boundaries, RequestAtExactFileEnd) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 1;
+  harness::Testbed tb(cfg);
+  const std::uint64_t fsize = 3 * 64 * 1024 + 100;  // not unit-aligned
+  wl::IorConfig ic;
+  ic.file_size = fsize - fsize % (32 * 1024);
+  ic.request_size = 32 * 1024;
+  ic.file = tb.create_file("f", fsize);
+  auto& job = tb.add_job("e", 1, tb.vanilla(),
+                         [ic](std::uint32_t) { return wl::make_ior(ic); },
+                         dualpar::Policy::kForcedNormal);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+}
+
+TEST(Boundaries, ManyJobsSequentially) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 2;
+  cfg.compute_nodes = 2;
+  harness::Testbed tb(cfg);
+  for (int i = 0; i < 6; ++i) {
+    wl::DemoConfig dc;
+    dc.file = tb.create_file("f" + std::to_string(i), 1 << 20);
+    dc.file_size = 1 << 20;
+    dc.segment_size = 64 * 1024;
+    tb.add_job("j" + std::to_string(i), 2, tb.dualpar(),
+               [dc](std::uint32_t) { return wl::make_demo(dc); },
+               dualpar::Policy::kForcedDataDriven, sim::msec(100 * i));
+  }
+  tb.run();
+  EXPECT_TRUE(tb.all_jobs_finished());
+}
+
+TEST(Boundaries, HugeQuotaDoesNotOverrun) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 2;
+  cfg.compute_nodes = 1;
+  cfg.dualpar.cache_quota = 1ull << 40;  // quota far beyond the file
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 2 << 20);
+  dc.file_size = 2 << 20;
+  dc.segment_size = 16 * 1024;
+  auto& job = tb.add_job("q", 2, tb.dualpar(),
+                         [dc](std::uint32_t) { return wl::make_demo(dc); },
+                         dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  // The whole remaining file fits in one prefetch batch — one cycle.
+  EXPECT_EQ(tb.dualpar().stats().cycles, 1u);
+}
+
+}  // namespace
+}  // namespace dpar

@@ -1,0 +1,174 @@
+// Parameterized sweeps over cluster dimensions: process counts, server
+// counts, network speeds, media types. Invariants: completion, byte
+// conservation, and the expected qualitative orderings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/testbed.hpp"
+#include "wl/workloads.hpp"
+
+namespace dpar {
+namespace {
+
+class ProcCountSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProcCountSweep, DemoCompletesAtEveryParallelism) {
+  const std::uint32_t procs = GetParam();
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 4 << 20);
+  dc.file_size = 4 << 20;
+  dc.segment_size = 16 * 1024;
+  auto& job = tb.add_job("d", procs, tb.dualpar(),
+                         [dc](std::uint32_t) { return wl::make_demo(dc); },
+                         dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.total_bytes(), 4u << 20);  // ranks partition the file exactly
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, ProcCountSweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 64u),
+                         [](const auto& info) {
+                           return "procs" + std::to_string(info.param);
+                         });
+
+class ServerCountSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ServerCountSweep, StripingScalesWithoutLoss) {
+  const std::uint32_t servers = GetParam();
+  harness::TestbedConfig cfg;
+  cfg.data_servers = servers;
+  cfg.compute_nodes = 2;
+  harness::Testbed tb(cfg);
+  wl::MpiIoTestConfig mc;
+  mc.file_size = 4 << 20;
+  mc.file = tb.create_file("f", mc.file_size);
+  mc.request_size = 16 * 1024;
+  auto& job = tb.add_job("m", 4, tb.vanilla(),
+                         [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
+                         dualpar::Policy::kForcedNormal);
+  tb.run();
+  EXPECT_EQ(job.total_bytes(), 4u << 20);
+  std::uint64_t served = 0;
+  for (std::uint32_t s = 0; s < tb.num_servers(); ++s)
+    served += tb.server(s).bytes_read();
+  EXPECT_EQ(served, 4u << 20);
+  // Every server participates (round-robin striping).
+  for (std::uint32_t s = 0; s < tb.num_servers(); ++s)
+    EXPECT_GT(tb.server(s).bytes_read(), 0u) << "server " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, ServerCountSweep,
+                         ::testing::Values(1u, 2u, 5u, 9u, 16u),
+                         [](const auto& info) {
+                           return "servers" + std::to_string(info.param);
+                         });
+
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthSweep, FasterFabricNeverHurts) {
+  auto runtime = [&](double gbps) {
+    harness::TestbedConfig cfg;
+    cfg.data_servers = 3;
+    cfg.compute_nodes = 2;
+    cfg.net.bandwidth_bytes_per_s = gbps * 125e6;
+    harness::Testbed tb(cfg);
+    wl::DemoConfig dc;
+    dc.file = tb.create_file("f", 8 << 20);
+    dc.file_size = 8 << 20;
+    dc.segment_size = 64 * 1024;
+    auto& job = tb.add_job("d", 4, tb.dualpar(),
+                           [dc](std::uint32_t) { return wl::make_demo(dc); },
+                           dualpar::Policy::kForcedDataDriven);
+    tb.run();
+    return job.completion_time();
+  };
+  const double gbps = GetParam();
+  EXPECT_LE(runtime(gbps * 2), runtime(gbps) + sim::msec(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, BandwidthSweep, ::testing::Values(0.5, 1.0, 10.0),
+                         [](const auto& info) {
+                           return "gbps" + std::to_string(static_cast<int>(
+                                               info.param * 10));
+                         });
+
+TEST(MediaSweep, SsdShrinksDualParAdvantage) {
+  auto gain = [&](bool ssd) {
+    auto run = [&](bool dualpar) {
+      harness::TestbedConfig cfg;
+      cfg.data_servers = 3;
+      cfg.compute_nodes = 2;
+      if (ssd) cfg.disk = disk::ssd_params();
+      harness::Testbed tb(cfg);
+      wl::NoncontigConfig nc;
+      nc.columns = 4;
+      nc.elmt_count = 128;
+      nc.rows = 2048;
+      nc.file = tb.create_file("f", nc.columns * nc.elmt_count * 4 * nc.rows);
+      auto& job = tb.add_job(
+          "n", 4,
+          dualpar ? static_cast<mpi::IoDriver&>(tb.dualpar())
+                  : static_cast<mpi::IoDriver&>(tb.vanilla()),
+          [nc](std::uint32_t) { return wl::make_noncontig(nc); },
+          dualpar ? dualpar::Policy::kForcedDataDriven
+                  : dualpar::Policy::kForcedNormal);
+      tb.run();
+      return tb.job_throughput_mbs(job);
+    };
+    return run(true) / run(false);
+  };
+  const double disk_gain = gain(false);
+  const double ssd_gain = gain(true);
+  EXPECT_GT(disk_gain, ssd_gain);  // the paper's premise is mechanical
+  EXPECT_GT(ssd_gain, 0.8);        // and DualPar never becomes a disaster
+}
+
+TEST(LatencyAccounting, DualParHasBimodalReadLatency) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 8 << 20);
+  dc.file_size = 8 << 20;
+  dc.segment_size = 16 * 1024;
+  auto& job = tb.add_job("d", 4, tb.dualpar(),
+                         [dc](std::uint32_t) { return wl::make_demo(dc); },
+                         dualpar::Policy::kForcedDataDriven);
+  tb.run();
+  const auto& h = job.read_latency();
+  EXPECT_GT(h.count(), 0u);
+  // Median call is a memcached hit (a few ms of gets at most); the tail
+  // waited out a whole data-driven cycle.
+  EXPECT_LE(h.percentile(0.5), 8192.0);  // bucketed: <= 8 ms
+  EXPECT_GT(h.percentile(0.99), h.percentile(0.5) * 5);
+}
+
+TEST(LatencyAccounting, VanillaReadLatencyIsUnimodal) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 8 << 20);
+  dc.file_size = 8 << 20;
+  dc.segment_size = 64 * 1024;
+  dc.segments_per_call = 1;
+  auto& job = tb.add_job("v", 4, tb.vanilla(),
+                         [dc](std::uint32_t) { return wl::make_demo(dc); },
+                         dualpar::Policy::kForcedNormal);
+  tb.run();
+  const auto& h = job.read_latency();
+  EXPECT_GT(h.count(), 0u);
+  // Log-bucketed percentiles: p99 within a few buckets of the median.
+  EXPECT_LE(h.percentile(0.99), h.percentile(0.5) * 16);
+}
+
+}  // namespace
+}  // namespace dpar

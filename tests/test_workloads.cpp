@@ -1,0 +1,321 @@
+// Tests for the benchmark workload generators: coverage, disjointness and
+// pattern properties of each access stream.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "wl/workloads.hpp"
+
+namespace dpar::wl {
+namespace {
+
+using mpi::Op;
+using mpi::OpBarrier;
+using mpi::OpCompute;
+using mpi::OpEnd;
+using mpi::OpIo;
+using mpi::ProgramContext;
+using pfs::Segment;
+
+struct Collected {
+  std::vector<mpi::IoCall> calls;
+  std::uint64_t barriers = 0;
+  sim::Time compute = 0;
+};
+
+Collected drain(mpi::Program& prog, std::uint32_t rank, std::uint32_t nprocs,
+                bool ghost = false, std::uint64_t max_ops = 1'000'000) {
+  ProgramContext ctx;
+  ctx.rank = rank;
+  ctx.nprocs = nprocs;
+  ctx.ghost = ghost;
+  Collected c;
+  for (std::uint64_t i = 0; i < max_ops; ++i) {
+    Op op = prog.next(ctx);
+    if (std::holds_alternative<OpEnd>(op)) return c;
+    if (auto* io = std::get_if<OpIo>(&op)) {
+      if (!ghost && !io->call.is_write && !io->call.segments.empty())
+        ctx.last_read_value =
+            sim::content_hash(io->call.file, io->call.segments.front().offset);
+      c.calls.push_back(std::move(io->call));
+    } else if (std::holds_alternative<OpBarrier>(op)) {
+      ++c.barriers;
+    } else if (auto* comp = std::get_if<OpCompute>(&op)) {
+      c.compute += comp->duration;
+    }
+  }
+  ADD_FAILURE() << "program did not terminate";
+  return c;
+}
+
+std::uint64_t total_bytes(const Collected& c) {
+  std::uint64_t sum = 0;
+  for (const auto& call : c.calls) sum += call.total_bytes();
+  return sum;
+}
+
+TEST(Demo, AllRanksTogetherCoverTheFileExactly) {
+  DemoConfig cfg;
+  cfg.file_size = 4 << 20;
+  cfg.segment_size = 4096;
+  const std::uint32_t N = 8;
+  std::set<std::uint64_t> offsets;
+  std::uint64_t bytes = 0;
+  for (std::uint32_t r = 0; r < N; ++r) {
+    auto prog = make_demo(cfg);
+    const auto c = drain(*prog, r, N);
+    for (const auto& call : c.calls)
+      for (const auto& s : call.segments) {
+        EXPECT_TRUE(offsets.insert(s.offset).second) << "overlap at " << s.offset;
+        bytes += s.length;
+      }
+  }
+  EXPECT_EQ(bytes, cfg.file_size);
+}
+
+TEST(Demo, SixteenSegmentsPerCallWithRankStride) {
+  DemoConfig cfg;
+  cfg.file_size = 4 << 20;
+  cfg.segment_size = 4096;
+  auto prog = make_demo(cfg);
+  const auto c = drain(*prog, /*rank=*/3, /*nprocs=*/8);
+  ASSERT_FALSE(c.calls.empty());
+  const auto& segs = c.calls[0].segments;
+  ASSERT_EQ(segs.size(), 16u);
+  EXPECT_EQ(segs[0].offset, 3u * 4096);
+  EXPECT_EQ(segs[1].offset, (8u + 3u) * 4096);  // stride N segments
+}
+
+TEST(Demo, ComputeEmittedPerCall) {
+  DemoConfig cfg;
+  cfg.file_size = 1 << 20;
+  cfg.segment_size = 4096;
+  cfg.compute_per_call = sim::msec(3);
+  auto prog = make_demo(cfg);
+  const auto c = drain(*prog, 0, 8);
+  EXPECT_EQ(c.compute, sim::msec(3) * static_cast<sim::Time>(c.calls.size()));
+}
+
+TEST(MpiIoTest, GloballySequentialCoverage) {
+  MpiIoTestConfig cfg;
+  cfg.file_size = 8 << 20;
+  cfg.request_size = 16 * 1024;
+  const std::uint32_t N = 4;
+  std::set<std::uint64_t> offsets;
+  std::uint64_t bytes = 0;
+  for (std::uint32_t r = 0; r < N; ++r) {
+    auto prog = make_mpi_io_test(cfg);
+    const auto c = drain(*prog, r, N);
+    EXPECT_EQ(c.barriers, c.calls.size());  // barrier per call
+    for (const auto& call : c.calls) {
+      ASSERT_EQ(call.segments.size(), 1u);
+      EXPECT_TRUE(offsets.insert(call.segments[0].offset).second);
+      bytes += call.segments[0].length;
+    }
+  }
+  EXPECT_EQ(bytes, cfg.file_size);
+  // Offsets must tile the file contiguously.
+  std::uint64_t expect = 0;
+  for (std::uint64_t off : offsets) {
+    EXPECT_EQ(off, expect);
+    expect += cfg.request_size;
+  }
+}
+
+TEST(Hpio, RegionsWithSpacing) {
+  HpioConfig cfg;
+  cfg.region_count = 64;
+  cfg.region_size = 32 * 1024;
+  cfg.region_spacing = 1024;
+  cfg.regions_per_call = 8;
+  auto prog = make_hpio(cfg);
+  const auto c = drain(*prog, /*rank=*/1, /*nprocs=*/2);
+  EXPECT_EQ(c.calls.size(), 8u);
+  EXPECT_EQ(total_bytes(c), 64u * 32 * 1024);
+  const auto& s = c.calls[0].segments;
+  EXPECT_EQ(s[1].offset - s[0].offset, 33u * 1024);  // size + spacing
+  // Rank 1's accesses start after rank 0's full region block.
+  EXPECT_EQ(s[0].offset, 64u * 33 * 1024);
+}
+
+TEST(Ior, RanksOwnDisjointScopes) {
+  IorConfig cfg;
+  cfg.file_size = 8 << 20;
+  cfg.request_size = 32 * 1024;
+  const std::uint32_t N = 4;
+  std::uint64_t bytes = 0;
+  for (std::uint32_t r = 0; r < N; ++r) {
+    auto prog = make_ior(cfg);
+    const auto c = drain(*prog, r, N);
+    const std::uint64_t scope = cfg.file_size / N;
+    for (const auto& call : c.calls) {
+      EXPECT_GE(call.segments[0].offset, r * scope);
+      EXPECT_LT(call.segments[0].end(), (r + 1) * scope + 1);
+    }
+    bytes += total_bytes(c);
+    // Sequential within the scope.
+    for (std::size_t i = 1; i < c.calls.size(); ++i)
+      EXPECT_EQ(c.calls[i].segments[0].offset,
+                c.calls[i - 1].segments[0].end());
+  }
+  EXPECT_EQ(bytes, cfg.file_size);
+}
+
+TEST(Noncontig, ColumnAccessPattern) {
+  NoncontigConfig cfg;
+  cfg.columns = 4;
+  cfg.elmt_count = 8;  // 32-byte wide columns
+  cfg.rows = 64;
+  cfg.bytes_per_call = 1024;
+  auto prog = make_noncontig(cfg);
+  const auto c = drain(*prog, /*rank=*/2, /*nprocs=*/4);
+  EXPECT_EQ(total_bytes(c), 64u * 32);
+  // Row stride = columns * width.
+  const auto& s = c.calls[0].segments;
+  ASSERT_GE(s.size(), 2u);
+  EXPECT_EQ(s[0].offset, 2u * 32);
+  EXPECT_EQ(s[1].offset - s[0].offset, 4u * 32);
+}
+
+TEST(S3asim, ReadsFragmentsThenWritesResults) {
+  S3asimConfig cfg;
+  cfg.database_size = 16 << 20;
+  cfg.fragments = 4;
+  cfg.queries = 3;
+  cfg.min_size = 100;
+  cfg.max_size = 1000;
+  auto prog = make_s3asim(cfg);
+  const auto c = drain(*prog, /*rank=*/1, /*nprocs=*/2);
+  std::uint64_t reads = 0, writes = 0;
+  for (const auto& call : c.calls) {
+    if (call.is_write) {
+      ++writes;
+      EXPECT_EQ(call.file, cfg.result_file);
+      EXPECT_GE(call.segments[0].length, cfg.min_size);
+      EXPECT_LE(call.segments[0].length, cfg.max_size);
+    } else {
+      ++reads;
+      EXPECT_EQ(call.file, cfg.database_file);
+      EXPECT_LT(call.segments[0].end(), cfg.database_size + 1);
+    }
+  }
+  EXPECT_EQ(reads, cfg.queries * cfg.fragments);
+  EXPECT_EQ(writes, cfg.queries);
+}
+
+TEST(S3asim, DeterministicPerRankStreams) {
+  S3asimConfig cfg;
+  cfg.queries = 2;
+  auto a = make_s3asim(cfg);
+  auto b = make_s3asim(cfg);
+  const auto ca = drain(*a, 0, 2);
+  const auto cb = drain(*b, 0, 2);
+  ASSERT_EQ(ca.calls.size(), cb.calls.size());
+  for (std::size_t i = 0; i < ca.calls.size(); ++i)
+    EXPECT_EQ(ca.calls[i].segments[0].offset, cb.calls[i].segments[0].offset);
+  // Different ranks diverge.
+  auto c = make_s3asim(cfg);
+  const auto cc = drain(*c, 1, 2);
+  EXPECT_NE(cc.calls[0].segments[0].offset, ca.calls[0].segments[0].offset);
+}
+
+TEST(Btio, CellSizeShrinksWithProcessCount) {
+  BtioConfig cfg;
+  cfg.total_bytes = 4 << 20;
+  cfg.write_steps = 4;
+  cfg.read_back = false;
+  for (std::uint32_t n : {16u, 64u, 256u}) {
+    auto prog = make_btio(cfg);
+    const auto c = drain(*prog, 0, n);
+    ASSERT_FALSE(c.calls.empty());
+    EXPECT_EQ(c.calls[0].segments[0].length, std::max<std::uint64_t>(8, 10240 / n))
+        << n << " procs";
+  }
+}
+
+TEST(Btio, WritePhaseThenReadBackCoversSameBytes) {
+  BtioConfig cfg;
+  cfg.total_bytes = 2 << 20;
+  cfg.write_steps = 4;
+  cfg.read_back = true;
+  const std::uint32_t N = 16;
+  auto prog = make_btio(cfg);
+  const auto c = drain(*prog, 3, N);
+  std::uint64_t wbytes = 0, rbytes = 0;
+  for (const auto& call : c.calls) (call.is_write ? wbytes : rbytes) += call.total_bytes();
+  EXPECT_GT(wbytes, 0u);
+  EXPECT_EQ(wbytes, rbytes);
+  EXPECT_GT(c.barriers, 0u);
+}
+
+TEST(Btio, RanksInterleaveWithinRows) {
+  BtioConfig cfg;
+  cfg.total_bytes = 1 << 20;
+  cfg.write_steps = 2;
+  cfg.read_back = false;
+  const std::uint32_t N = 16;
+  auto p0 = make_btio(cfg);
+  auto p1 = make_btio(cfg);
+  const auto c0 = drain(*p0, 0, N);
+  const auto c1 = drain(*p1, 1, N);
+  const std::uint64_t cell = 10240 / N;
+  EXPECT_EQ(c1.calls[0].segments[0].offset - c0.calls[0].segments[0].offset, cell);
+}
+
+TEST(Dependent, NormalRunFollowsData_GhostGuessesWrong) {
+  DependentConfig cfg;
+  cfg.file_size = 64 << 20;
+  cfg.request_size = 64 * 1024;
+  cfg.requests = 20;
+  auto normal = make_dependent(cfg);
+  const auto cn = drain(*normal, 0, 1, /*ghost=*/false);
+  auto ghost = make_dependent(cfg);
+  const auto cg = drain(*ghost, 0, 1, /*ghost=*/true);
+  ASSERT_EQ(cn.calls.size(), cg.calls.size());
+  // First request matches (no dependency yet); nearly all others diverge.
+  EXPECT_EQ(cn.calls[0].segments[0].offset, cg.calls[0].segments[0].offset);
+  int same = 0;
+  for (std::size_t i = 1; i < cn.calls.size(); ++i)
+    same += (cn.calls[i].segments[0].offset == cg.calls[i].segments[0].offset);
+  EXPECT_LE(same, 2);
+}
+
+TEST(Dependent, NormalRunIsDeterministic) {
+  DependentConfig cfg;
+  cfg.requests = 10;
+  auto a = make_dependent(cfg);
+  auto b = make_dependent(cfg);
+  const auto ca = drain(*a, 0, 1);
+  const auto cb = drain(*b, 0, 1);
+  for (std::size_t i = 0; i < ca.calls.size(); ++i)
+    EXPECT_EQ(ca.calls[i].segments[0].offset, cb.calls[i].segments[0].offset);
+}
+
+TEST(AllPrograms, CloneContinuesIdentically) {
+  DemoConfig cfg;
+  cfg.file_size = 1 << 20;
+  cfg.segment_size = 4096;
+  auto prog = make_demo(cfg);
+  ProgramContext ctx;
+  ctx.nprocs = 4;
+  (void)prog->next(ctx);
+  (void)prog->next(ctx);
+  auto clone = prog->clone();
+  for (int i = 0; i < 20; ++i) {
+    Op a = prog->next(ctx);
+    Op b = clone->next(ctx);
+    ASSERT_EQ(a.index(), b.index());
+    if (auto* ia = std::get_if<OpIo>(&a)) {
+      auto* ib = std::get_if<OpIo>(&b);
+      ASSERT_EQ(ia->call.segments.size(), ib->call.segments.size());
+      for (std::size_t k = 0; k < ia->call.segments.size(); ++k)
+        EXPECT_EQ(ia->call.segments[k], ib->call.segments[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpar::wl
