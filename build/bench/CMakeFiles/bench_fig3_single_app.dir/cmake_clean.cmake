@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_single_app.dir/bench_fig3_single_app.cpp.o"
+  "CMakeFiles/bench_fig3_single_app.dir/bench_fig3_single_app.cpp.o.d"
+  "CMakeFiles/bench_fig3_single_app.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig3_single_app.dir/harness.cpp.o.d"
+  "bench_fig3_single_app"
+  "bench_fig3_single_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_single_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

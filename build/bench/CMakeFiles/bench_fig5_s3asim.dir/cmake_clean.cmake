@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_s3asim.dir/bench_fig5_s3asim.cpp.o"
+  "CMakeFiles/bench_fig5_s3asim.dir/bench_fig5_s3asim.cpp.o.d"
+  "CMakeFiles/bench_fig5_s3asim.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig5_s3asim.dir/harness.cpp.o.d"
+  "bench_fig5_s3asim"
+  "bench_fig5_s3asim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_s3asim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

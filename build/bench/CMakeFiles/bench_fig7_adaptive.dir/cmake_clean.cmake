@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_adaptive.dir/bench_fig7_adaptive.cpp.o"
+  "CMakeFiles/bench_fig7_adaptive.dir/bench_fig7_adaptive.cpp.o.d"
+  "CMakeFiles/bench_fig7_adaptive.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig7_adaptive.dir/harness.cpp.o.d"
+  "bench_fig7_adaptive"
+  "bench_fig7_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssd_era.dir/bench_ssd_era.cpp.o"
+  "CMakeFiles/bench_ssd_era.dir/bench_ssd_era.cpp.o.d"
+  "CMakeFiles/bench_ssd_era.dir/harness.cpp.o"
+  "CMakeFiles/bench_ssd_era.dir/harness.cpp.o.d"
+  "bench_ssd_era"
+  "bench_ssd_era.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssd_era.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

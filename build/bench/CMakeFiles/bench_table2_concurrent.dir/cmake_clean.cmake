@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_concurrent.dir/bench_table2_concurrent.cpp.o"
+  "CMakeFiles/bench_table2_concurrent.dir/bench_table2_concurrent.cpp.o.d"
+  "CMakeFiles/bench_table2_concurrent.dir/harness.cpp.o"
+  "CMakeFiles/bench_table2_concurrent.dir/harness.cpp.o.d"
+  "bench_table2_concurrent"
+  "bench_table2_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

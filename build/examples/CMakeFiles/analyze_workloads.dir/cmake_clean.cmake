@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_workloads.dir/analyze_workloads.cpp.o"
+  "CMakeFiles/analyze_workloads.dir/analyze_workloads.cpp.o.d"
+  "analyze_workloads"
+  "analyze_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cluster.dir/shared_cluster.cpp.o"
+  "CMakeFiles/shared_cluster.dir/shared_cluster.cpp.o.d"
+  "shared_cluster"
+  "shared_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

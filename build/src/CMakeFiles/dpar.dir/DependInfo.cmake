@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/global_cache.cpp" "src/CMakeFiles/dpar.dir/cache/global_cache.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/cache/global_cache.cpp.o.d"
+  "/root/repo/src/cache/rangeset.cpp" "src/CMakeFiles/dpar.dir/cache/rangeset.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/cache/rangeset.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/dpar.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/disk/device.cpp" "src/CMakeFiles/dpar.dir/disk/device.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/disk/device.cpp.o.d"
+  "/root/repo/src/disk/sched_anticipatory.cpp" "src/CMakeFiles/dpar.dir/disk/sched_anticipatory.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/disk/sched_anticipatory.cpp.o.d"
+  "/root/repo/src/disk/sched_cfq.cpp" "src/CMakeFiles/dpar.dir/disk/sched_cfq.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/disk/sched_cfq.cpp.o.d"
+  "/root/repo/src/disk/sched_simple.cpp" "src/CMakeFiles/dpar.dir/disk/sched_simple.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/disk/sched_simple.cpp.o.d"
+  "/root/repo/src/dualpar/crm.cpp" "src/CMakeFiles/dpar.dir/dualpar/crm.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/dualpar/crm.cpp.o.d"
+  "/root/repo/src/dualpar/driver.cpp" "src/CMakeFiles/dpar.dir/dualpar/driver.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/dualpar/driver.cpp.o.d"
+  "/root/repo/src/dualpar/emc.cpp" "src/CMakeFiles/dpar.dir/dualpar/emc.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/dualpar/emc.cpp.o.d"
+  "/root/repo/src/dualpar/ghost.cpp" "src/CMakeFiles/dpar.dir/dualpar/ghost.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/dualpar/ghost.cpp.o.d"
+  "/root/repo/src/dualpar/preexec.cpp" "src/CMakeFiles/dpar.dir/dualpar/preexec.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/dualpar/preexec.cpp.o.d"
+  "/root/repo/src/harness/testbed.cpp" "src/CMakeFiles/dpar.dir/harness/testbed.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/harness/testbed.cpp.o.d"
+  "/root/repo/src/metrics/csv.cpp" "src/CMakeFiles/dpar.dir/metrics/csv.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/metrics/csv.cpp.o.d"
+  "/root/repo/src/metrics/monitor.cpp" "src/CMakeFiles/dpar.dir/metrics/monitor.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/metrics/monitor.cpp.o.d"
+  "/root/repo/src/mpi/job.cpp" "src/CMakeFiles/dpar.dir/mpi/job.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/mpi/job.cpp.o.d"
+  "/root/repo/src/mpiio/collective.cpp" "src/CMakeFiles/dpar.dir/mpiio/collective.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/mpiio/collective.cpp.o.d"
+  "/root/repo/src/mpiio/vanilla.cpp" "src/CMakeFiles/dpar.dir/mpiio/vanilla.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/mpiio/vanilla.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/dpar.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/net/network.cpp.o.d"
+  "/root/repo/src/pfs/file_system.cpp" "src/CMakeFiles/dpar.dir/pfs/file_system.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/pfs/file_system.cpp.o.d"
+  "/root/repo/src/pfs/layout.cpp" "src/CMakeFiles/dpar.dir/pfs/layout.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/pfs/layout.cpp.o.d"
+  "/root/repo/src/pfs/server.cpp" "src/CMakeFiles/dpar.dir/pfs/server.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/pfs/server.cpp.o.d"
+  "/root/repo/src/pfs/server_cache.cpp" "src/CMakeFiles/dpar.dir/pfs/server_cache.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/pfs/server_cache.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dpar.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/wl/analyze.cpp" "src/CMakeFiles/dpar.dir/wl/analyze.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/wl/analyze.cpp.o.d"
+  "/root/repo/src/wl/trace_replay.cpp" "src/CMakeFiles/dpar.dir/wl/trace_replay.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/wl/trace_replay.cpp.o.d"
+  "/root/repo/src/wl/workloads.cpp" "src/CMakeFiles/dpar.dir/wl/workloads.cpp.o" "gcc" "src/CMakeFiles/dpar.dir/wl/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyze.cpp" "tests/CMakeFiles/dpar_tests.dir/test_analyze.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_analyze.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/dpar_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_comm_and_replay.cpp" "tests/CMakeFiles/dpar_tests.dir/test_comm_and_replay.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_comm_and_replay.cpp.o.d"
+  "/root/repo/tests/test_crm.cpp" "tests/CMakeFiles/dpar_tests.dir/test_crm.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_crm.cpp.o.d"
+  "/root/repo/tests/test_disk.cpp" "tests/CMakeFiles/dpar_tests.dir/test_disk.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_disk.cpp.o.d"
+  "/root/repo/tests/test_driver_details.cpp" "tests/CMakeFiles/dpar_tests.dir/test_driver_details.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_driver_details.cpp.o.d"
+  "/root/repo/tests/test_dualpar.cpp" "tests/CMakeFiles/dpar_tests.dir/test_dualpar.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_dualpar.cpp.o.d"
+  "/root/repo/tests/test_emc.cpp" "tests/CMakeFiles/dpar_tests.dir/test_emc.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_emc.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/dpar_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_figures.cpp" "tests/CMakeFiles/dpar_tests.dir/test_figures.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_figures.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/dpar_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_mpi.cpp" "tests/CMakeFiles/dpar_tests.dir/test_mpi.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_mpi.cpp.o.d"
+  "/root/repo/tests/test_mpiio.cpp" "tests/CMakeFiles/dpar_tests.dir/test_mpiio.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_mpiio.cpp.o.d"
+  "/root/repo/tests/test_net_cluster.cpp" "tests/CMakeFiles/dpar_tests.dir/test_net_cluster.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_net_cluster.cpp.o.d"
+  "/root/repo/tests/test_pfs.cpp" "tests/CMakeFiles/dpar_tests.dir/test_pfs.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_pfs.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dpar_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/dpar_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sched_edge.cpp" "tests/CMakeFiles/dpar_tests.dir/test_sched_edge.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_sched_edge.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/dpar_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/dpar_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/dpar_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/dpar_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
