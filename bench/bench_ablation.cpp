@@ -11,6 +11,10 @@
 // Workload: the Table II interference scenario (two mpi-io-test instances),
 // which exercises every mechanism at once.
 #include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "harness.hpp"
 #include "wl/workloads.hpp"
@@ -33,7 +37,7 @@ struct Knobs {
   Variant variant = Variant::kDualPar;
 };
 
-double run(const Knobs& k, std::uint64_t scale) {
+bench::ExperimentStats run(const Knobs& k, std::uint64_t scale) {
   harness::TestbedConfig cfg = bench::paper_config();
   cfg.dualpar.sort_batch = k.sort;
   cfg.dualpar.merge_batch = k.merge;
@@ -54,8 +58,26 @@ double run(const Knobs& k, std::uint64_t scale) {
                [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
                bench::policy_for(k.variant));
   }
-  tb.run();
-  return tb.system_throughput_mbs();
+  const std::uint64_t events = tb.run();
+  return {tb.system_throughput_mbs(), events, {}};
+}
+
+/// Section C: adaptive policy at threshold T (two concurrent mpi-io-tests).
+bench::ExperimentStats run_adaptive(double T, std::uint64_t scale) {
+  harness::TestbedConfig cfg = bench::paper_config();
+  cfg.dualpar.t_improvement = T;
+  harness::Testbed tb(cfg);
+  for (int i = 0; i < 2; ++i) {
+    wl::MpiIoTestConfig mc;
+    mc.file_size = (2ull << 30) / scale;
+    mc.file = tb.create_file("f" + std::to_string(i), mc.file_size);
+    mc.request_size = 16 * 1024;
+    tb.add_job("job" + std::to_string(i), 64, tb.dualpar(),
+               [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
+               dualpar::Policy::kAdaptive);
+  }
+  const std::uint64_t events = tb.run();
+  return {tb.system_throughput_mbs(), events, {}};
 }
 
 }  // namespace
@@ -65,21 +87,103 @@ int main(int argc, char** argv) {
   std::printf("Ablations (2 concurrent mpi-io-test reads, scale 1/%llu)\n",
               static_cast<unsigned long long>(scale));
 
+  // Every cell is an independent experiment: submit them all up front, then
+  // assemble the tables in submission order (output is byte-identical at any
+  // DPAR_JOBS).
+  bench::ExperimentPool pool;
+  auto submit = [&](const std::string& label, const Knobs& k) {
+    return pool.submit(label, [k, scale] { return run(k, scale); });
+  };
+
+  // A: CRM request transformations, knobs removed cumulatively.
+  std::vector<std::pair<std::string, std::size_t>> a_rows;
+  {
+    Knobs k;
+    k.sched = disk::SchedulerKind::kNoop;
+    a_rows.emplace_back("full (sort+merge+holes)", submit("A full", k));
+    k.holes = false;
+    a_rows.emplace_back("no hole filling", submit("A no-holes", k));
+    k.merge = false;
+    a_rows.emplace_back("no merging", submit("A no-merge", k));
+    k.sort = false;
+    a_rows.emplace_back("no sorting either", submit("A no-sort", k));
+  }
+
+  // B: kernel disk scheduler, vanilla vs DualPar.
+  const std::initializer_list<std::pair<const char*, disk::SchedulerKind>>
+      schedulers{{"noop", disk::SchedulerKind::kNoop},
+                 {"deadline", disk::SchedulerKind::kDeadline},
+                 {"cscan", disk::SchedulerKind::kCscan},
+                 {"cfq", disk::SchedulerKind::kCfq}};
+  std::vector<std::pair<std::size_t, std::size_t>> b_rows;
+  for (auto [name, sched] : schedulers) {
+    Knobs kv;
+    kv.sched = sched;
+    kv.variant = Variant::kVanilla;
+    Knobs kd;
+    kd.sched = sched;
+    b_rows.emplace_back(submit(std::string("B vanilla ") + name, kv),
+                        submit(std::string("B dualpar ") + name, kd));
+  }
+
+  // C: T_improvement sensitivity (adaptive policy).
+  const std::vector<double> thresholds{1.0, 3.0, 6.0, 10.0};
+  std::vector<std::size_t> c_rows;
+  for (double T : thresholds)
+    c_rows.push_back(pool.submit("C T=" + std::to_string(T).substr(0, 4),
+                                 [T, scale] { return run_adaptive(T, scale); }));
+
+  // D: cache chunk / stripe unit size.
+  const std::vector<std::uint64_t> chunks_kb{16, 64, 256};
+  std::vector<std::size_t> d_rows;
+  for (std::uint64_t kb : chunks_kb) {
+    Knobs k;
+    k.chunk = kb * 1024;
+    d_rows.push_back(submit("D chunk=" + std::to_string(kb) + "KB", k));
+  }
+
+  // E: memcached chunk placement.
+  std::size_t e_local, e_rr;
+  {
+    Knobs k;
+    e_local = submit("E consumer-local", k);
+    k.round_robin_cache = true;
+    e_rr = submit("E round-robin", k);
+  }
+
+  // G: server page cache + read-ahead.
+  const std::vector<std::uint64_t> page_cache_mb{0, 64, 512};
+  std::vector<std::pair<std::size_t, std::size_t>> g_rows;
+  for (std::uint64_t mb : page_cache_mb) {
+    Knobs kv;
+    kv.variant = Variant::kVanilla;
+    kv.server_page_cache = mb << 20;
+    Knobs kd;
+    kd.server_page_cache = mb << 20;
+    g_rows.emplace_back(submit("G vanilla " + std::to_string(mb) + "MB", kv),
+                        submit("G dualpar " + std::to_string(mb) + "MB", kd));
+  }
+
+  // F: disk I/O context granularity.
+  std::size_t f_rows[2][2];
+  {
+    Knobs kv;
+    kv.variant = Variant::kVanilla;
+    Knobs kd;
+    f_rows[0][0] = submit("F vanilla single-context", kv);
+    f_rows[0][1] = submit("F dualpar single-context", kd);
+    kv.per_origin_context = kd.per_origin_context = true;
+    f_rows[1][0] = submit("F vanilla per-origin", kv);
+    f_rows[1][1] = submit("F dualpar per-origin", kd);
+  }
+
   {
     // Under CFQ the kernel elevator re-sorts DualPar's deep queue anyway, so
     // CRM's own ordering is measured under NOOP, where the disks see exactly
     // the application-level issue order.
     bench::Table t("A: CRM request transformations (DualPar, NOOP disks)");
     t.set_headers({"config", "MB/s"});
-    Knobs k;
-    k.sched = disk::SchedulerKind::kNoop;
-    t.add_row("full (sort+merge+holes)", {run(k, scale)});
-    k.holes = false;
-    t.add_row("no hole filling", {run(k, scale)});
-    k.merge = false;
-    t.add_row("no merging", {run(k, scale)});
-    k.sort = false;
-    t.add_row("no sorting either", {run(k, scale)});
+    for (const auto& [label, idx] : a_rows) t.add_row(label, {pool.value(idx)});
     t.add_note("sorting carries most of the benefit (§IV-D); with CFQ disks the "
                "kernel elevator masks it on a single deep queue");
     t.print();
@@ -87,19 +191,12 @@ int main(int argc, char** argv) {
   {
     bench::Table t("B: kernel disk scheduler");
     t.set_headers({"scheduler", "vanilla MB/s", "DualPar MB/s", "DualPar gain"});
-    for (auto [name, sched] :
-         std::initializer_list<std::pair<const char*, disk::SchedulerKind>>{
-             {"noop", disk::SchedulerKind::kNoop},
-             {"deadline", disk::SchedulerKind::kDeadline},
-             {"cscan", disk::SchedulerKind::kCscan},
-             {"cfq", disk::SchedulerKind::kCfq}}) {
-      Knobs kv;
-      kv.sched = sched;
-      kv.variant = Variant::kVanilla;
-      const double v = run(kv, scale);
-      Knobs kd;
-      kd.sched = sched;
-      const double d = run(kd, scale);
+    std::size_t i = 0;
+    for (auto [name, sched] : schedulers) {
+      (void)sched;
+      const double v = pool.value(b_rows[i].first);
+      const double d = pool.value(b_rows[i].second);
+      ++i;
       t.add_row(name, {v, d, d / v}, 1);
     }
     t.add_note("application-level ordering helps under every kernel scheduler; "
@@ -109,22 +206,9 @@ int main(int argc, char** argv) {
   {
     bench::Table t("C: T_improvement sensitivity (adaptive policy)");
     t.set_headers({"T", "MB/s"});
-    for (double T : {1.0, 3.0, 6.0, 10.0}) {
-      harness::TestbedConfig cfg = bench::paper_config();
-      cfg.dualpar.t_improvement = T;
-      harness::Testbed tb(cfg);
-      for (int i = 0; i < 2; ++i) {
-        wl::MpiIoTestConfig mc;
-        mc.file_size = (2ull << 30) / scale;
-        mc.file = tb.create_file("f" + std::to_string(i), mc.file_size);
-        mc.request_size = 16 * 1024;
-        tb.add_job("job" + std::to_string(i), 64, tb.dualpar(),
-                   [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
-                   dualpar::Policy::kAdaptive);
-      }
-      tb.run();
-      t.add_row(std::to_string(T).substr(0, 4), {tb.system_throughput_mbs()});
-    }
+    for (std::size_t i = 0; i < thresholds.size(); ++i)
+      t.add_row(std::to_string(thresholds[i]).substr(0, 4),
+                {pool.value(c_rows[i])});
     t.add_note("paper §IV-B: 'system performance is not sensitive to this "
                "threshold'");
     t.print();
@@ -132,34 +216,25 @@ int main(int argc, char** argv) {
   {
     bench::Table t("D: cache chunk / stripe unit size (DualPar)");
     t.set_headers({"chunk", "MB/s"});
-    for (std::uint64_t kb : {16u, 64u, 256u}) {
-      Knobs k;
-      k.chunk = kb * 1024;
-      t.add_row(std::to_string(kb) + "KB", {run(k, scale)});
-    }
+    for (std::size_t i = 0; i < chunks_kb.size(); ++i)
+      t.add_row(std::to_string(chunks_kb[i]) + "KB", {pool.value(d_rows[i])});
     t.print();
   }
   {
     bench::Table t("E: memcached chunk placement (DualPar)");
     t.set_headers({"placement", "MB/s"});
-    Knobs k;
-    t.add_row("consumer-local (ours)", {run(k, scale)});
-    k.round_robin_cache = true;
-    t.add_row("round-robin (paper)", {run(k, scale)});
+    t.add_row("consumer-local (ours)", {pool.value(e_local)});
+    t.add_row("round-robin (paper)", {pool.value(e_rr)});
     t.add_note("consumer-local placement halves the memcached network hops");
     t.print();
   }
   {
     bench::Table t("G: server page cache + read-ahead (paper flushed caches)");
     t.set_headers({"page cache", "vanilla MB/s", "DualPar MB/s", "DualPar gain"});
-    for (std::uint64_t mb : {0u, 64u, 512u}) {
-      Knobs kv;
-      kv.variant = Variant::kVanilla;
-      kv.server_page_cache = mb << 20;
-      Knobs kd;
-      kd.server_page_cache = mb << 20;
-      const double v = run(kv, scale);
-      const double d = run(kd, scale);
+    for (std::size_t i = 0; i < page_cache_mb.size(); ++i) {
+      const std::uint64_t mb = page_cache_mb[i];
+      const double v = pool.value(g_rows[i].first);
+      const double d = pool.value(g_rows[i].second);
       t.add_row(mb == 0 ? "off (paper)" : std::to_string(mb) + "MB/server",
                 {v, d, d / v}, 1);
     }
@@ -171,15 +246,14 @@ int main(int argc, char** argv) {
   {
     bench::Table t("F: disk I/O context granularity");
     t.set_headers({"context", "vanilla MB/s", "DualPar MB/s"});
-    Knobs kv;
-    kv.variant = Variant::kVanilla;
-    Knobs kd;
-    t.add_row("single server context (PVFS2)", {run(kv, scale), run(kd, scale)}, 1);
-    kv.per_origin_context = kd.per_origin_context = true;
-    t.add_row("per-origin contexts (kernel path)", {run(kv, scale), run(kd, scale)}, 1);
+    t.add_row("single server context (PVFS2)",
+              {pool.value(f_rows[0][0]), pool.value(f_rows[0][1])}, 1);
+    t.add_row("per-origin contexts (kernel path)",
+              {pool.value(f_rows[1][0]), pool.value(f_rows[1][1])}, 1);
     t.add_note("CFQ with per-process contexts recovers some vanilla efficiency "
                "via anticipation, narrowing but not closing the gap");
     t.print();
   }
+  bench::write_perf_json("bench_ablation", pool);
   return 0;
 }

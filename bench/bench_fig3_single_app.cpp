@@ -21,8 +21,8 @@ using bench::Variant;
 
 namespace {
 
-double run_workload(const std::string& which, bool is_write, Variant v,
-                    std::uint64_t scale) {
+bench::ExperimentStats run_workload(const std::string& which, bool is_write,
+                                    Variant v, std::uint64_t scale) {
   harness::Testbed tb(bench::paper_config());
   const std::uint32_t procs = 64;
   mpi::Job::ProgramFactory factory;
@@ -57,8 +57,8 @@ double run_workload(const std::string& which, bool is_write, Variant v,
 
   mpi::Job& job = tb.add_job(which, procs, bench::driver_for(tb, v), factory,
                              bench::policy_for(v));
-  tb.run();
-  return tb.job_throughput_mbs(job);
+  const std::uint64_t events = tb.run();
+  return {tb.job_throughput_mbs(job), events, {}};
 }
 
 }  // namespace
@@ -68,16 +68,31 @@ int main(int argc, char** argv) {
   std::printf("Figure 3 reproduction (single application, 64 procs, scale 1/%llu)\n",
               static_cast<unsigned long long>(scale));
 
+  const std::vector<std::string> workloads{"mpi-io-test", "noncontig", "ior-mpi-io"};
+  bench::ExperimentPool pool;
+  // runs[is_write][workload][variant]
+  std::size_t runs[2][3][3];
+  for (bool is_write : {false, true})
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+      std::size_t vi = 0;
+      for (Variant v : {Variant::kVanilla, Variant::kCollective, Variant::kDualPar})
+        runs[is_write][wi][vi++] = pool.submit(
+            workloads[wi] + (is_write ? " write " : " read ") + bench::variant_name(v),
+            [w = workloads[wi], is_write, v, scale] {
+              return run_workload(w, is_write, v, scale);
+            });
+    }
+
   for (bool is_write : {false, true}) {
     bench::Table t(is_write ? "Fig 3(b): system WRITE throughput (MB/s)"
                             : "Fig 3(a): system READ throughput (MB/s)");
     t.set_headers({"workload", "vanilla", "collective", "DualPar", "DP/vanilla",
                    "DP/collective"});
-    for (const std::string w : {"mpi-io-test", "noncontig", "ior-mpi-io"}) {
-      const double a = run_workload(w, is_write, Variant::kVanilla, scale);
-      const double b = run_workload(w, is_write, Variant::kCollective, scale);
-      const double c = run_workload(w, is_write, Variant::kDualPar, scale);
-      t.add_row(w, {a, b, c, c / a, c / b}, 1);
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+      const double a = pool.value(runs[is_write][wi][0]);
+      const double b = pool.value(runs[is_write][wi][1]);
+      const double c = pool.value(runs[is_write][wi][2]);
+      t.add_row(workloads[wi], {a, b, c, c / a, c / b}, 1);
     }
     if (!is_write) {
       t.add_note("paper Fig 3(a): mpi-io-test 115/117/263; noncontig DualPar 39 "
@@ -88,5 +103,6 @@ int main(int argc, char** argv) {
     }
     t.print();
   }
+  bench::write_perf_json("bench_fig3_single_app", pool);
   return 0;
 }

@@ -5,6 +5,7 @@
 // the process count grows — 40 B at 256 procs); collective I/O and DualPar
 // gain up to 24x and 35x; collective's advantage *shrinks* with more
 // processes (its per-call exchange grows), DualPar keeps scaling.
+#include <array>
 #include <cstdio>
 
 #include "harness.hpp"
@@ -15,7 +16,7 @@ using bench::Variant;
 
 namespace {
 
-double run_btio(std::uint32_t procs, Variant v, std::uint64_t scale) {
+bench::ExperimentStats run_btio(std::uint32_t procs, Variant v, std::uint64_t scale) {
   harness::Testbed tb(bench::paper_config());
   const std::uint32_t instances = 3;
   // Class C is 6.8 GB per instance; tiny vanilla requests make full scale
@@ -35,8 +36,8 @@ double run_btio(std::uint32_t procs, Variant v, std::uint64_t scale) {
                                [cfg](std::uint32_t) { return wl::make_btio(cfg); },
                                bench::policy_for(v)));
   }
-  tb.run();
-  return tb.system_throughput_mbs();
+  const std::uint64_t events = tb.run();
+  return {tb.system_throughput_mbs(), events, {}};
 }
 
 }  // namespace
@@ -45,17 +46,30 @@ int main(int argc, char** argv) {
   const std::uint64_t scale = bench::scale_divisor(argc, argv);
   std::printf("Figure 4 reproduction (3 concurrent BTIO, scale 1/%llu of class C/16)\n",
               static_cast<unsigned long long>(scale));
+  bench::ExperimentPool pool;
+  const std::vector<std::uint32_t> proc_counts{16, 64, 256};
+  std::vector<std::array<std::size_t, 3>> runs;
+  for (std::uint32_t procs : proc_counts) {
+    std::array<std::size_t, 3> row{};
+    std::size_t i = 0;
+    for (Variant v : {Variant::kVanilla, Variant::kCollective, Variant::kDualPar})
+      row[i++] = pool.submit(
+          std::string(bench::variant_name(v)) + " procs=" + std::to_string(procs),
+          [procs, v, scale] { return run_btio(procs, v, scale); });
+    runs.push_back(row);
+  }
   bench::Table t("Fig 4: system I/O throughput (MB/s), 3 concurrent BTIO");
   t.set_headers({"procs", "vanilla", "collective", "DualPar", "coll/vanilla",
                  "DP/vanilla"});
-  for (std::uint32_t procs : {16u, 64u, 256u}) {
-    const double a = run_btio(procs, Variant::kVanilla, scale);
-    const double b = run_btio(procs, Variant::kCollective, scale);
-    const double c = run_btio(procs, Variant::kDualPar, scale);
-    t.add_row(std::to_string(procs), {a, b, c, b / a, c / a}, 1);
+  for (std::size_t i = 0; i < proc_counts.size(); ++i) {
+    const double a = pool.value(runs[i][0]);
+    const double b = pool.value(runs[i][1]);
+    const double c = pool.value(runs[i][2]);
+    t.add_row(std::to_string(proc_counts[i]), {a, b, c, b / a, c / a}, 1);
   }
   t.add_note("paper: gains up to 24x (collective) and 35x (DualPar) over vanilla;"
              " collective's edge shrinks as procs grow, DualPar's keeps growing");
   t.print();
+  bench::write_perf_json("bench_fig4_btio_scaling", pool);
   return 0;
 }

@@ -14,7 +14,7 @@ using bench::Variant;
 
 namespace {
 
-double run_btio(std::uint64_t quota, std::uint64_t scale) {
+bench::ExperimentStats run_btio(std::uint64_t quota, std::uint64_t scale) {
   harness::TestbedConfig cfg = bench::paper_config();
   // 0 KB means "DualPar disabled": the run uses the vanilla driver below,
   // and the config keeps its (unused) default quota.
@@ -33,8 +33,8 @@ double run_btio(std::uint64_t quota, std::uint64_t scale) {
           : tb.add_job("btio", 64, tb.dualpar(),
                        [bc](std::uint32_t) { return wl::make_btio(bc); },
                        dualpar::Policy::kForcedDataDriven);
-  tb.run();
-  return tb.job_throughput_mbs(job);
+  const std::uint64_t events = tb.run();
+  return {tb.job_throughput_mbs(job), events, {}};
 }
 
 }  // namespace
@@ -43,16 +43,23 @@ int main(int argc, char** argv) {
   const std::uint64_t scale = bench::scale_divisor(argc, argv);
   std::printf("Figure 8 reproduction (BTIO, 64 procs, cache quota sweep, "
               "scale 1/%llu)\n", static_cast<unsigned long long>(scale));
+  bench::ExperimentPool pool;
+  const std::vector<std::uint64_t> kbs{0, 64, 128, 256, 512, 1024};
+  std::vector<std::size_t> runs;
+  for (std::uint64_t kb : kbs)
+    runs.push_back(pool.submit("quota=" + std::to_string(kb) + "KB",
+                               [kb, scale] { return run_btio(kb * 1024, scale); }));
   bench::Table t("Fig 8: BTIO system I/O throughput (MB/s) vs per-process cache");
   t.set_headers({"cache (KB)", "MB/s", "vs 0 KB"});
   double base = 0;
-  for (std::uint64_t kb : {0u, 64u, 128u, 256u, 512u, 1024u}) {
-    const double mbs = run_btio(kb * 1024, scale);
-    if (kb == 0) base = mbs;
-    t.add_row(std::to_string(kb), {mbs, mbs / base}, 1);
+  for (std::size_t i = 0; i < kbs.size(); ++i) {
+    const double mbs = pool.value(runs[i]);
+    if (kbs[i] == 0) base = mbs;
+    t.add_row(std::to_string(kbs[i]), {mbs, mbs / base}, 1);
   }
   t.add_note("paper: 0 KB == vanilla (~2.7 MB/s); 64 KB already ~43x; "
              "diminishing returns beyond");
   t.print();
+  bench::write_perf_json("bench_fig8_cache_size", pool);
   return 0;
 }

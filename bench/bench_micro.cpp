@@ -3,7 +3,10 @@
 // striping decomposition, and end-to-end simulated-seconds-per-wall-second.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
+#include <queue>
+#include <unordered_set>
 
 #include "cache/rangeset.hpp"
 #include "disk/device.hpp"
@@ -18,6 +21,72 @@ using namespace dpar;
 
 namespace {
 
+/// The pre-overhaul event engine (std::function callbacks, binary
+/// priority_queue, pending_/cancelled_ hash sets), kept verbatim as the
+/// baseline the slab-heap engine is measured against.
+class LegacyEngine {
+ public:
+  using Callback = std::function<void()>;
+  struct LegacyEventId {
+    std::uint64_t seq = 0;
+    explicit operator bool() const { return seq != 0; }
+  };
+
+  LegacyEventId at(sim::Time t, Callback cb) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Item{t, seq, std::move(cb)});
+    pending_.insert(seq);
+    return LegacyEventId{seq};
+  }
+  LegacyEventId after(sim::Time delay, Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+  bool cancel(LegacyEventId id) {
+    if (!id) return false;
+    if (pending_.erase(id.seq) == 0) return false;
+    cancelled_.insert(id.seq);
+    return true;
+  }
+  bool step() {
+    while (!heap_.empty()) {
+      Item item = std::move(const_cast<Item&>(heap_.top()));
+      heap_.pop();
+      if (auto it = cancelled_.find(item.seq); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      pending_.erase(item.seq);
+      now_ = item.t;
+      item.cb();
+      return true;
+    }
+    return false;
+  }
+  void run() {
+    while (step()) {
+    }
+  }
+  sim::Time now() const { return now_; }
+
+ private:
+  struct Item {
+    sim::Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  sim::Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
 void BM_EngineScheduleFire(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine eng;
@@ -28,6 +97,56 @@ void BM_EngineScheduleFire(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineScheduleFire);
+
+void BM_LegacyEngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    LegacyEngine eng;
+    for (int i = 0; i < 1000; ++i) eng.after(i, [] {});
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LegacyEngineScheduleFire);
+
+// The engine's real-world duty cycle: schedule with realistic captures (three
+// pointer-sized values — beyond std::function's inline buffer), cancel half
+// (the disk layer cancels plug/anticipation timers constantly), fire the rest.
+// Acceptance gate for the slab-heap engine: >= 2x legacy events/sec here.
+template <class Eng>
+void schedule_cancel_fire(Eng& eng, std::uint64_t& sink) {
+  using Id = decltype(eng.at(0, [] {}));
+  std::vector<Id> ids;
+  ids.reserve(1024);
+  std::uint64_t a = 1, b = 2, c = 3;
+  for (int i = 0; i < 1024; ++i)
+    ids.push_back(eng.after(i & 255, [&a, &b, &c] { a += b + c; }));
+  for (int i = 0; i < 1024; i += 2) eng.cancel(ids[static_cast<std::size_t>(i)]);
+  eng.run();
+  sink = a;
+}
+
+void BM_EngineScheduleCancelFire(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    schedule_cancel_fire(eng, sink);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EngineScheduleCancelFire);
+
+void BM_LegacyEngineScheduleCancelFire(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    LegacyEngine eng;
+    schedule_cancel_fire(eng, sink);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LegacyEngineScheduleCancelFire);
 
 void BM_EngineSelfChaining(benchmark::State& state) {
   for (auto _ : state) {
@@ -90,6 +209,37 @@ void BM_RangeSetAddCovers(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_RangeSetAddCovers);
+
+// CRM's write-back pattern: build a fragmented set, punch holes, query gaps.
+void BM_RangeSetRemoveGaps(benchmark::State& state) {
+  sim::Rng rng(11);
+  for (auto _ : state) {
+    cache::RangeSet rs;
+    for (int i = 0; i < 256; ++i) {
+      const std::uint64_t b = rng.uniform(1 << 20);
+      rs.add(b, b + 8192);
+    }
+    for (int i = 0; i < 64; ++i) {
+      const std::uint64_t b = rng.uniform(1 << 20);
+      rs.remove(b, b + 4096);
+    }
+    benchmark::DoNotOptimize(rs.gaps_within(0, 1 << 20).size());
+    benchmark::DoNotOptimize(rs.intersects(500'000, 600'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 320);
+}
+BENCHMARK(BM_RangeSetRemoveGaps);
+
+// The sequential-append fast path every server-cache fill takes.
+void BM_RangeSetSequentialAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    cache::RangeSet rs;
+    for (std::uint64_t i = 0; i < 1024; ++i) rs.add(i * 65536, i * 65536 + 65536);
+    benchmark::DoNotOptimize(rs.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RangeSetSequentialAdd);
 
 void BM_StripeDecompose(benchmark::State& state) {
   pfs::StripeLayout layout{64 * 1024, 9};

@@ -20,8 +20,8 @@ using bench::Variant;
 
 namespace {
 
-double run_single(const std::string& which, bool is_write, Variant v,
-                  std::uint64_t scale) {
+bench::ExperimentStats run_single(const std::string& which, bool is_write,
+                                  Variant v, std::uint64_t scale) {
   harness::Testbed tb(bench::paper_config());
   mpi::Job::ProgramFactory factory;
   if (which == "mpi-io-test") {
@@ -52,11 +52,11 @@ double run_single(const std::string& which, bool is_write, Variant v,
   }
   mpi::Job& job =
       tb.add_job(which, 64, bench::driver_for(tb, v), factory, bench::policy_for(v));
-  tb.run();
-  return tb.job_throughput_mbs(job);
+  const std::uint64_t events = tb.run();
+  return {tb.job_throughput_mbs(job), events, {}};
 }
 
-double run_pair(bool is_write, Variant v, std::uint64_t scale) {
+bench::ExperimentStats run_pair(bool is_write, Variant v, std::uint64_t scale) {
   harness::Testbed tb(bench::paper_config());
   for (int i = 0; i < 2; ++i) {
     wl::MpiIoTestConfig cfg;
@@ -69,8 +69,25 @@ double run_pair(bool is_write, Variant v, std::uint64_t scale) {
                [cfg](std::uint32_t) { return wl::make_mpi_io_test(cfg); },
                bench::policy_for(v));
   }
-  tb.run();
-  return tb.system_throughput_mbs();
+  const std::uint64_t events = tb.run();
+  return {tb.system_throughput_mbs(), events, {}};
+}
+
+/// Per-call read latency of one variant: value = mean ms, aux = {p50, p99}.
+bench::ExperimentStats run_latency(Variant v, std::uint64_t scale) {
+  harness::Testbed tb(bench::paper_config());
+  wl::MpiIoTestConfig cfg;
+  cfg.file_size = (2ull << 30) / scale;
+  cfg.file = tb.create_file("f", cfg.file_size);
+  cfg.request_size = 16 * 1024;
+  cfg.collective = (v == Variant::kCollective);
+  mpi::Job& job = tb.add_job("lat", 64, bench::driver_for(tb, v),
+                             [cfg](std::uint32_t) { return wl::make_mpi_io_test(cfg); },
+                             bench::policy_for(v));
+  const std::uint64_t events = tb.run();
+  const auto& h = job.read_latency();
+  return {h.mean() / 1000.0, events,
+          {h.percentile(0.5) / 1000.0, h.percentile(0.99) / 1000.0}};
 }
 
 }  // namespace
@@ -79,30 +96,60 @@ int main(int argc, char** argv) {
   const std::uint64_t scale = bench::scale_divisor(argc, argv);
   std::printf("Headline summary (scale 1/%llu)\n",
               static_cast<unsigned long long>(scale));
+
+  const std::vector<std::string> workloads{"mpi-io-test", "noncontig", "ior-mpi-io"};
+  const Variant variants[] = {Variant::kVanilla, Variant::kCollective,
+                              Variant::kDualPar};
+  bench::ExperimentPool pool;
+
+  struct Scenario {
+    std::string name;
+    std::size_t run[3];  ///< submission index per variant
+  };
+  std::vector<Scenario> scenarios;
+  for (const std::string& w : workloads)
+    for (bool is_write : {false, true}) {
+      Scenario s;
+      s.name = w + (is_write ? " write" : " read");
+      for (int vi = 0; vi < 3; ++vi) {
+        const Variant v = variants[vi];
+        s.run[vi] = pool.submit(s.name + " " + bench::variant_name(v),
+                                [w, is_write, v, scale] {
+                                  return run_single(w, is_write, v, scale);
+                                });
+      }
+      scenarios.push_back(std::move(s));
+    }
+  for (bool is_write : {false, true}) {
+    Scenario s;
+    s.name = std::string("2x mpi-io-test ") + (is_write ? "write" : "read");
+    for (int vi = 0; vi < 3; ++vi) {
+      const Variant v = variants[vi];
+      s.run[vi] = pool.submit(s.name + " " + bench::variant_name(v),
+                              [is_write, v, scale] {
+                                return run_pair(is_write, v, scale);
+                              });
+    }
+    scenarios.push_back(std::move(s));
+  }
+  std::size_t lat_runs[3];
+  for (int vi = 0; vi < 3; ++vi) {
+    const Variant v = variants[vi];
+    lat_runs[vi] = pool.submit(std::string("latency ") + bench::variant_name(v),
+                               [v, scale] { return run_latency(v, scale); });
+  }
+
   bench::Table t("DualPar vs best(vanilla, collective) across the evaluation suite");
   t.set_headers({"scenario", "best other MB/s", "DualPar MB/s", "improvement %"});
 
   std::vector<double> improvements;
-  auto record = [&](const std::string& name, double a, double b, double d) {
+  for (const Scenario& s : scenarios) {
+    const double a = pool.value(s.run[0]);
+    const double b = pool.value(s.run[1]);
+    const double d = pool.value(s.run[2]);
     const double best = std::max(a, b);
-    const double imp = d / best - 1.0;
     improvements.push_back(d / best);
-    t.add_row(name, {best, d, imp * 100.0}, 1);
-  };
-
-  for (const std::string w : {"mpi-io-test", "noncontig", "ior-mpi-io"}) {
-    for (bool is_write : {false, true}) {
-      const double a = run_single(w, is_write, Variant::kVanilla, scale);
-      const double b = run_single(w, is_write, Variant::kCollective, scale);
-      const double d = run_single(w, is_write, Variant::kDualPar, scale);
-      record(w + (is_write ? " write" : " read"), a, b, d);
-    }
-  }
-  for (bool is_write : {false, true}) {
-    const double a = run_pair(is_write, Variant::kVanilla, scale);
-    const double b = run_pair(is_write, Variant::kCollective, scale);
-    const double d = run_pair(is_write, Variant::kDualPar, scale);
-    record(std::string("2x mpi-io-test ") + (is_write ? "write" : "read"), a, b, d);
+    t.add_row(s.name, {best, d, (d / best - 1.0) * 100.0}, 1);
   }
 
   double log_sum = 0;
@@ -119,24 +166,14 @@ int main(int argc, char** argv) {
   // data-driven cycle).
   bench::Table lat("Per-call read latency, mpi-io-test (ms)");
   lat.set_headers({"variant", "mean", "p50", "p99"});
-  for (Variant v : {Variant::kVanilla, Variant::kCollective, Variant::kDualPar}) {
-    harness::Testbed tb(bench::paper_config());
-    wl::MpiIoTestConfig cfg;
-    cfg.file_size = (2ull << 30) / scale;
-    cfg.file = tb.create_file("f", cfg.file_size);
-    cfg.request_size = 16 * 1024;
-    cfg.collective = (v == Variant::kCollective);
-    mpi::Job& job = tb.add_job("lat", 64, bench::driver_for(tb, v),
-                               [cfg](std::uint32_t) { return wl::make_mpi_io_test(cfg); },
-                               bench::policy_for(v));
-    tb.run();
-    const auto& h = job.read_latency();
-    lat.add_row(bench::variant_name(v),
-                {h.mean() / 1000.0, h.percentile(0.5) / 1000.0,
-                 h.percentile(0.99) / 1000.0}, 2);
+  for (int vi = 0; vi < 3; ++vi) {
+    const bench::ExperimentRecord& r = pool.record(lat_runs[vi]);
+    lat.add_row(bench::variant_name(variants[vi]),
+                {r.stats.value, r.stats.aux[0], r.stats.aux[1]}, 2);
   }
   lat.add_note("batching raises tail latency while cutting total runtime — the "
                "data-driven mode's inherent trade");
   lat.print();
+  bench::write_perf_json("bench_summary", pool);
   return 0;
 }

@@ -54,6 +54,25 @@ std::uint64_t scale_divisor(int argc, char** argv) {
   return 16;
 }
 
+std::string write_perf_json(const std::string& bench_name, ExperimentPool& pool) {
+  const std::vector<ExperimentRecord>& records = pool.wait_all();
+  std::vector<metrics::PerfEntry> entries;
+  entries.reserve(records.size());
+  for (const ExperimentRecord& r : records)
+    entries.push_back(metrics::PerfEntry{r.label, r.stats.value, r.stats.events,
+                                         r.wall_s});
+  const char* env = std::getenv("DPAR_BENCH_JSON");
+  const std::string path = env ? env : "BENCH_sim_core.json";
+  if (!metrics::write_bench_perf_json(path, bench_name, entries,
+                                      pool.suite_wall_s(), pool.jobs())) {
+    // stderr so stdout stays byte-comparable across runs.
+    std::fprintf(stderr, "warning: could not write perf accounting to %s\n",
+                 path.c_str());
+    return "";
+  }
+  return path;
+}
+
 void Table::add_row(const std::string& label, const std::vector<double>& values,
                     int precision) {
   std::vector<std::string> cells{label};

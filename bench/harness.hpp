@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment_pool.hpp"
 #include "harness/testbed.hpp"
+#include "metrics/perf.hpp"
 
 namespace dpar::bench {
 
@@ -27,6 +29,12 @@ harness::TestbedConfig paper_config();
 
 /// Data-size divisor: 1 with --full, else DPAR_SCALE env (default 16).
 std::uint64_t scale_divisor(int argc, char** argv);
+
+/// Wait for every experiment in `pool` and merge this bench's perf section
+/// (per-experiment wall time + events, suite totals, events/sec) into the
+/// shared perf report. Path from the DPAR_BENCH_JSON env var, default
+/// "BENCH_sim_core.json". Returns the path written (empty on failure).
+std::string write_perf_json(const std::string& bench_name, ExperimentPool& pool);
 
 /// Simple aligned table with a title, headers, numeric rows and footnotes.
 class Table {

@@ -4,72 +4,108 @@
 
 namespace dpar::cache {
 
+// Branchless binary searches: the loop body compiles to a conditional move,
+// so the branch predictor never sees the (data-dependent) comparison result.
+// Both maintain the invariant "answer lies in [base, base + n]".
+
+std::size_t RangeSet::upper_bound_begin(std::uint64_t x) const {
+  std::size_t base = 0;
+  std::size_t n = ranges_.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base = (ranges_[base + half - 1].begin <= x) ? base + half : base;
+    n -= half;
+  }
+  if (n == 1 && ranges_[base].begin <= x) ++base;
+  return base;
+}
+
+std::size_t RangeSet::lower_bound_end(std::uint64_t x) const {
+  std::size_t base = 0;
+  std::size_t n = ranges_.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base = (ranges_[base + half - 1].end < x) ? base + half : base;
+    n -= half;
+  }
+  if (n == 1 && ranges_[base].end < x) ++base;
+  return base;
+}
+
 void RangeSet::add(std::uint64_t begin, std::uint64_t end) {
   if (begin >= end) return;
-  // Find the first range that could merge: the one at or before `begin`.
-  auto it = ranges_.upper_bound(begin);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= begin) {
-      begin = prev->first;
-      end = std::max(end, prev->second);
-      it = ranges_.erase(prev);
-    }
+  // Fast path: appending at or past the tail, the common sequential pattern.
+  if (ranges_.empty() || begin > ranges_.back().end) {
+    ranges_.push_back(ByteRange{begin, end});
+    return;
   }
-  // Absorb all ranges starting within [begin, end].
-  while (it != ranges_.end() && it->first <= end) {
-    end = std::max(end, it->second);
-    it = ranges_.erase(it);
+  if (begin == ranges_.back().end) {
+    ranges_.back().end = std::max(ranges_.back().end, end);
+    return;
   }
-  ranges_.emplace(begin, end);
+  // Merge window: every range overlapping or adjacent to [begin, end).
+  const std::size_t lo = lower_bound_end(begin);   // first with r.end >= begin
+  const std::size_t hi = upper_bound_begin(end);   // first with r.begin > end
+  if (lo >= hi) {
+    ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(lo),
+                   ByteRange{begin, end});
+    return;
+  }
+  const std::uint64_t merged_begin = std::min(begin, ranges_[lo].begin);
+  const std::uint64_t merged_end = std::max(end, ranges_[hi - 1].end);
+  ranges_[lo] = ByteRange{merged_begin, merged_end};
+  ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                ranges_.begin() + static_cast<std::ptrdiff_t>(hi));
 }
 
 void RangeSet::remove(std::uint64_t begin, std::uint64_t end) {
   if (begin >= end) return;
-  auto it = ranges_.upper_bound(begin);
-  if (it != ranges_.begin()) --it;
-  while (it != ranges_.end() && it->first < end) {
-    const std::uint64_t rb = it->first;
-    const std::uint64_t re = it->second;
-    if (re <= begin) {
-      ++it;
-      continue;
-    }
-    it = ranges_.erase(it);
-    if (rb < begin) ranges_.emplace(rb, begin);
-    if (re > end) it = ranges_.emplace(end, re).first;
+  // Affected window: ranges with r.end > begin and r.begin < end.
+  const std::size_t lo = lower_bound_end(begin + 1);  // first with r.end > begin
+  const std::size_t hi = upper_bound_begin(end - 1);  // first with r.begin >= end
+  if (lo >= hi) return;
+  const ByteRange left{ranges_[lo].begin, begin};    // survives if non-empty
+  const ByteRange right{end, ranges_[hi - 1].end};   // survives if non-empty
+  std::size_t keep = 0;
+  if (left.begin < left.end) ++keep;
+  if (right.begin < right.end) ++keep;
+  const std::size_t window = hi - lo;
+  if (keep <= window) {
+    std::size_t out = lo;
+    if (left.begin < left.end) ranges_[out++] = left;
+    if (right.begin < right.end) ranges_[out++] = right;
+    ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(out),
+                  ranges_.begin() + static_cast<std::ptrdiff_t>(hi));
+  } else {
+    // Single range split into two: one insert.
+    ranges_[lo] = left;
+    ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(lo) + 1, right);
   }
 }
 
 bool RangeSet::covers(std::uint64_t begin, std::uint64_t end) const {
   if (begin >= end) return true;
-  auto it = ranges_.upper_bound(begin);
-  if (it == ranges_.begin()) return false;
-  --it;
-  return it->second >= end;
+  const std::size_t i = upper_bound_begin(begin);
+  return i > 0 && ranges_[i - 1].end >= end;
 }
 
 bool RangeSet::intersects(std::uint64_t begin, std::uint64_t end) const {
   if (begin >= end) return false;
-  auto it = ranges_.upper_bound(begin);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > begin) return true;
-  }
-  return it != ranges_.end() && it->first < end;
+  const std::size_t i = upper_bound_begin(begin);
+  if (i > 0 && ranges_[i - 1].end > begin) return true;
+  return i < ranges_.size() && ranges_[i].begin < end;
 }
 
 std::vector<ByteRange> RangeSet::gaps_within(std::uint64_t begin, std::uint64_t end) const {
   std::vector<ByteRange> gaps;
+  if (begin >= end) return gaps;
   std::uint64_t cursor = begin;
-  auto it = ranges_.upper_bound(begin);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > cursor) cursor = std::min(prev->second, end);
-  }
-  for (; it != ranges_.end() && it->first < end; ++it) {
-    if (it->first > cursor) gaps.push_back(ByteRange{cursor, it->first});
-    cursor = std::max(cursor, std::min(it->second, end));
+  std::size_t i = upper_bound_begin(begin);
+  if (i > 0 && ranges_[i - 1].end > cursor)
+    cursor = std::min(ranges_[i - 1].end, end);
+  for (; i < ranges_.size() && ranges_[i].begin < end; ++i) {
+    if (ranges_[i].begin > cursor) gaps.push_back(ByteRange{cursor, ranges_[i].begin});
+    cursor = std::max(cursor, std::min(ranges_[i].end, end));
   }
   if (cursor < end) gaps.push_back(ByteRange{cursor, end});
   return gaps;
@@ -77,15 +113,8 @@ std::vector<ByteRange> RangeSet::gaps_within(std::uint64_t begin, std::uint64_t 
 
 std::uint64_t RangeSet::total_bytes() const {
   std::uint64_t sum = 0;
-  for (const auto& [b, e] : ranges_) sum += e - b;
+  for (const ByteRange& r : ranges_) sum += r.length();
   return sum;
-}
-
-std::vector<ByteRange> RangeSet::ranges() const {
-  std::vector<ByteRange> out;
-  out.reserve(ranges_.size());
-  for (const auto& [b, e] : ranges_) out.push_back(ByteRange{b, e});
-  return out;
 }
 
 }  // namespace dpar::cache

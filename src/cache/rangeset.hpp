@@ -1,11 +1,14 @@
 // Sorted, coalescing set of half-open byte ranges [begin, end).
 //
 // Used per cache chunk to track which bytes are valid and which are dirty,
-// and by CRM to compute write-back holes.
+// and by CRM to compute write-back holes. This sits on CRM's sort/merge/
+// hole-fill hot path and in every server-cache lookup, so storage is a flat
+// sorted vector (contiguous, cache-friendly, no per-node allocation) and the
+// point lookups use a branchless lower bound.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace dpar::cache {
@@ -36,11 +39,18 @@ class RangeSet {
 
   std::uint64_t total_bytes() const;
   bool empty() const { return ranges_.empty(); }
-  std::vector<ByteRange> ranges() const;
+  std::vector<ByteRange> ranges() const { return ranges_; }
   void clear() { ranges_.clear(); }
 
  private:
-  std::map<std::uint64_t, std::uint64_t> ranges_;  // begin -> end
+  /// First index whose range begins after `x` (branchless binary search).
+  std::size_t upper_bound_begin(std::uint64_t x) const;
+  /// First index whose range ends at or after `x` (branchless binary search).
+  std::size_t lower_bound_end(std::uint64_t x) const;
+
+  /// Invariant: sorted by begin, pairwise disjoint and non-adjacent
+  /// (r[i].end < r[i+1].begin), every range non-empty.
+  std::vector<ByteRange> ranges_;
 };
 
 }  // namespace dpar::cache

@@ -1,0 +1,98 @@
+#include "harness/experiment_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace dpar::bench {
+
+unsigned ExperimentPool::jobs_from_env() {
+  if (const char* env = std::getenv("DPAR_JOBS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ExperimentPool::ExperimentPool(unsigned jobs)
+    : jobs_(jobs >= 1 ? jobs : 1), start_(std::chrono::steady_clock::now()) {
+  threads_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i)
+    threads_.emplace_back([this] { worker_(); });
+}
+
+ExperimentPool::~ExperimentPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t ExperimentPool::submit(std::string label, Task fn) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = tasks_.size();
+    tasks_.push_back(std::move(fn));
+    records_.push_back(ExperimentRecord{std::move(label), {}, 0});
+    errors_.emplace_back();
+    done_.push_back(false);
+  }
+  work_cv_.notify_one();
+  return index;
+}
+
+void ExperimentPool::worker_() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return next_task_ < tasks_.size() || stopping_; });
+    if (next_task_ >= tasks_.size()) {
+      if (stopping_) return;
+      continue;
+    }
+    const std::size_t index = next_task_++;
+    Task task = std::move(tasks_[index]);
+    lock.unlock();
+    const auto t0 = std::chrono::steady_clock::now();
+    ExperimentStats stats;
+    std::exception_ptr error;
+    try {
+      stats = task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    lock.lock();
+    records_[index].stats = std::move(stats);
+    records_[index].wall_s = wall;
+    errors_[index] = error;
+    done_[index] = true;
+    ++done_count_;
+    done_cv_.notify_all();
+  }
+}
+
+const ExperimentRecord& ExperimentPool::record(std::size_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, index] { return done_[index]; });
+  if (errors_[index]) std::rethrow_exception(errors_[index]);
+  return records_[index];
+}
+
+const std::vector<ExperimentRecord>& ExperimentPool::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return done_count_ == tasks_.size(); });
+  suite_wall_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  for (const std::exception_ptr& e : errors_)
+    if (e) std::rethrow_exception(e);
+  return records_;
+}
+
+}  // namespace dpar::bench

@@ -1,0 +1,109 @@
+#include "metrics/perf.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace dpar::metrics {
+namespace {
+
+// File shape (whitespace exact; one bench section per line so a line-level
+// merge suffices):
+//   {
+//     "schema": "dpar-bench-perf-v1",
+//     "benches": {
+//       "bench_x": {...},
+//       "bench_y": {...}
+//     }
+//   }
+constexpr const char* kSchemaLine = "  \"schema\": \"dpar-bench-perf-v1\",";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string render_section(const std::vector<PerfEntry>& entries,
+                           double suite_wall_s, unsigned jobs) {
+  std::uint64_t events = 0;
+  double busy_s = 0;
+  std::ostringstream out;
+  out << "{\"wall_s\": " << format_double(suite_wall_s) << ", \"jobs\": " << jobs
+      << ", \"experiments\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PerfEntry& e = entries[i];
+    events += e.events;
+    busy_s += e.wall_s;
+    if (i) out << ", ";
+    out << "{\"label\": \"" << json_escape(e.label) << "\", \"value\": "
+        << format_double(e.value) << ", \"events\": " << e.events
+        << ", \"wall_s\": " << format_double(e.wall_s) << "}";
+  }
+  out << "], \"events\": " << events << ", \"busy_s\": " << format_double(busy_s)
+      << ", \"events_per_sec\": "
+      << format_double(busy_s > 0 ? static_cast<double>(events) / busy_s : 0)
+      << "}";
+  return out.str();
+}
+
+/// Pull existing `"name": {...}` bench lines out of a previously written file.
+std::map<std::string, std::string> read_sections(const std::string& path) {
+  std::map<std::string, std::string> sections;
+  std::ifstream in(path);
+  if (!in) return sections;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Bench lines are indented 4 spaces and start with a quoted name.
+    if (line.size() < 8 || line.compare(0, 5, "    \"") != 0) continue;
+    const std::size_t name_end = line.find('"', 5);
+    if (name_end == std::string::npos) continue;
+    std::size_t body = line.find('{', name_end);
+    if (body == std::string::npos) continue;
+    std::string payload = line.substr(body);
+    if (!payload.empty() && payload.back() == ',') payload.pop_back();
+    sections[line.substr(5, name_end - 5)] = payload;
+  }
+  return sections;
+}
+
+}  // namespace
+
+bool write_bench_perf_json(const std::string& path, const std::string& bench_name,
+                           const std::vector<PerfEntry>& entries,
+                           double suite_wall_s, unsigned jobs) {
+  std::map<std::string, std::string> sections = read_sections(path);
+  sections[bench_name] = render_section(entries, suite_wall_s, jobs);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n" << kSchemaLine << "\n  \"benches\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, payload] : sections) {
+    out << "    \"" << name << "\": " << payload;
+    if (++i < sections.size()) out << ",";
+    out << "\n";
+  }
+  out << "  }\n}\n";
+  return out.good();
+}
+
+}  // namespace dpar::metrics

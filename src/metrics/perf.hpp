@@ -1,0 +1,46 @@
+// Perf self-accounting for the bench suite: allocation-free counters a hot
+// loop can bump, and a mergeable machine-readable JSON report
+// (BENCH_sim_core.json) so the simulator's perf trajectory is tracked
+// run-over-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpar::metrics {
+
+/// Plain-integer perf counters — no allocation, no atomics; each experiment
+/// owns its engine, so accumulation happens single-threaded at report time.
+struct PerfCounters {
+  std::uint64_t events = 0;       ///< engine events fired
+  std::uint64_t experiments = 0;  ///< experiments accumulated
+  double busy_s = 0;              ///< summed per-experiment wall seconds
+
+  void note(std::uint64_t ev, double wall_s) {
+    events += ev;
+    busy_s += wall_s;
+    ++experiments;
+  }
+  double events_per_sec() const { return busy_s > 0 ? static_cast<double>(events) / busy_s : 0; }
+};
+
+/// One experiment row of the JSON report.
+struct PerfEntry {
+  std::string label;
+  double value = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+};
+
+/// Merge `bench_name`'s section into the perf JSON at `path`, preserving the
+/// sections other bench binaries wrote. The file keeps one line per bench
+/// (see perf.cpp for the exact shape), so the merge is a line-level
+/// read-modify-write and never needs a general JSON parser.
+/// `suite_wall_s` is start-to-finish wall time; `jobs` the thread count.
+/// Returns false on I/O failure.
+bool write_bench_perf_json(const std::string& path, const std::string& bench_name,
+                           const std::vector<PerfEntry>& entries,
+                           double suite_wall_s, unsigned jobs);
+
+}  // namespace dpar::metrics

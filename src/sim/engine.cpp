@@ -1,40 +1,137 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace dpar::sim {
 
+std::uint32_t Engine::alloc_slot_() {
+  if (free_head_ != 0) {
+    const std::uint32_t slot = free_head_ - 1;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = 0;
+    return slot;
+  }
+  if (slots_.size() == slots_.capacity()) {
+    // Moving a Slot runs the callback's relocate hook per element; grow in
+    // big steps so slab growth stays a rare event.
+    const std::size_t cap = slots_.capacity() < 256 ? 256 : slots_.capacity() * 2;
+    slots_.reserve(cap);
+    gens_.reserve(cap);
+    heap_.reserve(cap);
+  }
+  slots_.emplace_back();
+  gens_.push_back(1);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::free_slot_(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  if (++gens_[slot] == 0) gens_[slot] = 1;  // keep 0 reserved for "no event"
+  s.next_free = free_head_;
+  free_head_ = slot + 1;
+}
+
+void Engine::push_key_(const Key& k) {
+  heap_.push_back(k);
+  sift_up_(heap_.size() - 1);
+}
+
+void Engine::pop_min_() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down_(0);
+}
+
+void Engine::sift_up_(std::size_t i) {
+  const Key k = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before_(k, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = k;
+}
+
+void Engine::sift_down_(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Key k = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before_(heap_[c], heap_[best])) best = c;
+    if (!before_(heap_[best], k)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = k;
+}
+
+void Engine::compact_() {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i)
+    if (!stale_key_(heap_[i])) heap_[out++] = heap_[i];
+  heap_.resize(out);
+  // Rebuild the heap property bottom-up (Floyd): only internal nodes sift.
+  if (out > 1)
+    for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) sift_down_(i);
+  stale_ = 0;
+}
+
 EventId Engine::at(Time t, Callback cb) {
   if (t < now_) throw std::invalid_argument("Engine::at: time in the past");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Item{t, seq, std::move(cb)});
-  pending_.insert(seq);
-  return EventId{seq};
+  const std::uint32_t slot = alloc_slot_();
+  const std::uint32_t gen = gens_[slot];
+  slots_[slot].cb = std::move(cb);
+  push_key_(Key{t, next_seq_++, slot, gen});
+  ++live_;
+  return EventId{slot, gen};
+}
+
+EventId Engine::after(Time delay, Callback cb) {
+  if (delay > std::numeric_limits<Time>::max() - now_)
+    throw std::overflow_error(
+        "Engine::after: now() + delay overflows simulated time");
+  return at(now_ + delay, std::move(cb));
 }
 
 bool Engine::cancel(EventId id) {
   if (!id) return false;
-  if (pending_.erase(id.seq) == 0) return false;  // already fired or cancelled
-  cancelled_.insert(id.seq);
+  if (id.slot >= slots_.size()) return false;
+  if (gens_[id.slot] != id.gen || !slots_[id.slot].cb)
+    return false;  // already fired or cancelled
+  free_slot_(id.slot);
+  --live_;
+  ++stale_;
+  // Amortised cleanup: never let cancelled keys dominate the heap.
+  if (stale_ >= 64 && stale_ * 2 >= heap_.size()) compact_();
   return true;
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    // priority_queue::top is const; move out via const_cast, standard idiom
-    // since pop() immediately destroys the slot.
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
-    if (auto it = cancelled_.find(item.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    const Key k = heap_.front();
+    pop_min_();
+    if (stale_key_(k)) {
+      --stale_;
       continue;
     }
-    pending_.erase(item.seq);
-    assert(item.t >= now_);
-    now_ = item.t;
+    // Move the callback out and free the slot *before* invoking, so the
+    // callback can freely schedule into the just-freed slot (reentrancy).
+    Callback cb = std::move(slots_[k.slot].cb);
+    free_slot_(k.slot);
+    --live_;
+    assert(k.t >= now_);
+    now_ = k.t;
     ++fired_;
-    item.cb();
+    cb();
     return true;
   }
   return false;
@@ -48,10 +145,10 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
 
 void Engine::run_until(Time t) {
   while (!heap_.empty()) {
-    const Item& top = heap_.top();
-    if (cancelled_.count(top.seq) != 0) {
-      cancelled_.erase(top.seq);
-      heap_.pop();
+    const Key& top = heap_.front();
+    if (stale_key_(top)) {
+      pop_min_();
+      --stale_;
       continue;
     }
     if (top.t > t) break;

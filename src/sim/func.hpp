@@ -1,0 +1,111 @@
+// Move-only `void()` callable with a small-buffer optimisation.
+//
+// The event engine schedules millions of callbacks per simulated run and the
+// common capture set is a handful of pointers (driver, request, process).
+// `std::function` spills anything beyond ~16 bytes to the heap; this type
+// keeps captures up to kInlineSize bytes in place, so the schedule/fire hot
+// path never touches the allocator. Larger callables still work — they fall
+// back to a single heap cell.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dpar::sim {
+
+class UniqueFunction {
+ public:
+  /// Sized for the engine's common case: lambdas capturing up to six
+  /// pointer-sized values stay inline.
+  static constexpr std::size_t kInlineSize = 48;
+
+  UniqueFunction() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_.buf)) Fn(std::forward<F>(f));
+      invoke_ = [](UniqueFunction& self) { (*self.inline_ptr<Fn>())(); };
+      relocate_ = [](UniqueFunction& dst, UniqueFunction& src) {
+        ::new (static_cast<void*>(dst.storage_.buf))
+            Fn(std::move(*src.inline_ptr<Fn>()));
+        src.inline_ptr<Fn>()->~Fn();
+      };
+      destroy_ = [](UniqueFunction& self) { self.inline_ptr<Fn>()->~Fn(); };
+    } else {
+      storage_.ptr = new Fn(std::forward<F>(f));
+      invoke_ = [](UniqueFunction& self) { (*self.heap_ptr<Fn>())(); };
+      relocate_ = [](UniqueFunction& dst, UniqueFunction& src) {
+        dst.storage_.ptr = src.storage_.ptr;
+      };
+      destroy_ = [](UniqueFunction& self) { delete self.heap_ptr<Fn>(); };
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { take_(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take_(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  void reset() noexcept {
+    if (destroy_) {
+      destroy_(*this);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+      destroy_ = nullptr;
+    }
+  }
+
+  void operator()() { invoke_(*this); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  void take_(UniqueFunction& other) noexcept {
+    if (other.invoke_) {
+      other.relocate_(*this, other);
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      destroy_ = other.destroy_;
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+  }
+
+  template <class Fn>
+  Fn* inline_ptr() noexcept {
+    return std::launder(reinterpret_cast<Fn*>(storage_.buf));
+  }
+  template <class Fn>
+  Fn* heap_ptr() noexcept {
+    return static_cast<Fn*>(storage_.ptr);
+  }
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[kInlineSize];
+    void* ptr;
+  } storage_;
+  void (*invoke_)(UniqueFunction&) = nullptr;
+  void (*relocate_)(UniqueFunction&, UniqueFunction&) = nullptr;
+  void (*destroy_)(UniqueFunction&) = nullptr;
+};
+
+}  // namespace dpar::sim

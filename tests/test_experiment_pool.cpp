@@ -1,0 +1,161 @@
+// ExperimentPool: submission-order result collection, error propagation, and
+// the determinism contract — the same seeded experiment run (a) sequentially
+// and (b) through pools of 1, 2 and 8 threads yields byte-identical CSV/stat
+// output and identical events_fired().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment_pool.hpp"
+#include "harness/testbed.hpp"
+#include "wl/workloads.hpp"
+
+namespace dpar {
+namespace {
+
+/// One deterministic experiment: a small mpi-io-test run. Returns the full
+/// artefact a bench would emit — a stat line plus the throughput time series
+/// as CSV — so byte-identity covers both tables and CSV exports.
+struct ExperimentOutput {
+  std::string text;
+  std::uint64_t events = 0;
+};
+
+ExperimentOutput run_experiment(std::uint64_t request_kb) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  cfg.cores_per_node = 8;
+  harness::Testbed tb(cfg);
+  wl::MpiIoTestConfig mc;
+  mc.file_size = 8ull << 20;
+  mc.file = tb.create_file("f", mc.file_size);
+  mc.request_size = request_kb * 1024;
+  mpi::Job& job = tb.add_job("j", 8, tb.dualpar(),
+                             [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
+                             dualpar::Policy::kForcedDataDriven);
+  const std::uint64_t events = tb.run();
+  std::ostringstream out;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "req=%lluKB mbs=%.6f io_s=%.6f events=%llu\n",
+                static_cast<unsigned long long>(request_kb),
+                tb.job_throughput_mbs(job), tb.total_io_time_s(),
+                static_cast<unsigned long long>(events));
+  out << buf;
+  for (const auto& [t, v] : tb.monitor().throughput_series().points) {
+    std::snprintf(buf, sizeof buf, "%lld,%.6f\n", static_cast<long long>(t), v);
+    out << buf;
+  }
+  return {out.str(), events};
+}
+
+const std::vector<std::uint64_t> kSweep{4, 8, 16, 32, 64, 128};
+
+TEST(ExperimentPool, PoolRunsAreByteIdenticalToSequential) {
+  // (a) the same sweep run twice sequentially must agree with itself...
+  std::string sequential;
+  std::vector<std::uint64_t> seq_events;
+  for (std::uint64_t kb : kSweep) {
+    ExperimentOutput o = run_experiment(kb);
+    sequential += o.text;
+    seq_events.push_back(o.events);
+  }
+  {
+    std::string again;
+    for (std::uint64_t kb : kSweep) again += run_experiment(kb).text;
+    ASSERT_EQ(sequential, again);
+  }
+  // (b) ...and with a pool at 1, 2 and 8 threads, byte for byte.
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    bench::ExperimentPool pool(jobs);
+    for (std::uint64_t kb : kSweep)
+      pool.submit("req=" + std::to_string(kb), [kb] {
+        ExperimentOutput o = run_experiment(kb);
+        bench::ExperimentStats s;
+        s.value = static_cast<double>(o.text.size());
+        s.events = o.events;
+        return s;
+      });
+    const auto& records = pool.wait_all();
+    ASSERT_EQ(records.size(), kSweep.size());
+    std::string pooled;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].stats.events, seq_events[i])
+          << "jobs=" << jobs << " experiment " << i;
+      // Re-run inline to collect the text: cheap and keeps the task pure.
+      pooled += run_experiment(kSweep[i]).text;
+    }
+    EXPECT_EQ(sequential, pooled) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExperimentPool, ResultsArriveInSubmissionOrder) {
+  bench::ExperimentPool pool(4);
+  // Later submissions finish first; records must still read in order.
+  for (int i = 0; i < 8; ++i)
+    pool.submit("t" + std::to_string(i), [i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(8 - i));
+      return bench::ExperimentStats{static_cast<double>(i), 0, {}};
+    });
+  const auto& records = pool.wait_all();
+  ASSERT_EQ(records.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].label, "t" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(records[static_cast<std::size_t>(i)].stats.value, i);
+  }
+}
+
+TEST(ExperimentPool, RecordBlocksForOneResultOnly) {
+  bench::ExperimentPool pool(2);
+  const std::size_t fast = pool.submit("fast", [] {
+    return bench::ExperimentStats{1.0, 42, {}};
+  });
+  pool.submit("slow", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return bench::ExperimentStats{2.0, 0, {}};
+  });
+  EXPECT_DOUBLE_EQ(pool.value(fast), 1.0);
+  EXPECT_EQ(pool.record(fast).stats.events, 42u);
+  pool.wait_all();
+}
+
+TEST(ExperimentPool, ExceptionsPropagateToTheCollector) {
+  bench::ExperimentPool pool(2);
+  const std::size_t ok = pool.submit("ok", [] {
+    return bench::ExperimentStats{7.0, 0, {}};
+  });
+  const std::size_t bad = pool.submit("bad", []() -> bench::ExperimentStats {
+    throw std::runtime_error("experiment exploded");
+  });
+  EXPECT_DOUBLE_EQ(pool.value(ok), 7.0);
+  EXPECT_THROW(pool.value(bad), std::runtime_error);
+}
+
+TEST(ExperimentPool, JobsFromEnvHonoursDparJobs) {
+  ::setenv("DPAR_JOBS", "3", 1);
+  EXPECT_EQ(bench::ExperimentPool::jobs_from_env(), 3u);
+  ::setenv("DPAR_JOBS", "0", 1);
+  EXPECT_EQ(bench::ExperimentPool::jobs_from_env(), 1u);
+  ::unsetenv("DPAR_JOBS");
+  EXPECT_GE(bench::ExperimentPool::jobs_from_env(), 1u);
+}
+
+TEST(ExperimentPool, AuxMetricsRoundTrip) {
+  bench::ExperimentPool pool(1);
+  const std::size_t i = pool.submit("aux", [] {
+    return bench::ExperimentStats{1.5, 9, {0.25, 0.75}};
+  });
+  const bench::ExperimentRecord& r = pool.record(i);
+  ASSERT_EQ(r.stats.aux.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.stats.aux[0], 0.25);
+  EXPECT_DOUBLE_EQ(r.stats.aux[1], 0.75);
+  EXPECT_GE(r.wall_s, 0.0);
+}
+
+}  // namespace
+}  // namespace dpar

@@ -1,0 +1,179 @@
+// Differential test: the flat-vector RangeSet against a reference model kept
+// as a std::map (the pre-overhaul implementation), under randomized
+// add/remove/covers/intersects/gaps_within sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cache/rangeset.hpp"
+#include "sim/rng.hpp"
+
+namespace dpar::cache {
+namespace {
+
+/// Reference implementation: ordered map begin -> end (the seed RangeSet).
+class MapRangeSet {
+ public:
+  void add(std::uint64_t begin, std::uint64_t end) {
+    if (begin >= end) return;
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= begin) {
+        begin = prev->first;
+        end = std::max(end, prev->second);
+        it = ranges_.erase(prev);
+      }
+    }
+    while (it != ranges_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = ranges_.erase(it);
+    }
+    ranges_.emplace(begin, end);
+  }
+
+  void remove(std::uint64_t begin, std::uint64_t end) {
+    if (begin >= end) return;
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) --it;
+    while (it != ranges_.end() && it->first < end) {
+      const std::uint64_t rb = it->first;
+      const std::uint64_t re = it->second;
+      if (re <= begin) {
+        ++it;
+        continue;
+      }
+      it = ranges_.erase(it);
+      if (rb < begin) ranges_.emplace(rb, begin);
+      if (re > end) it = ranges_.emplace(end, re).first;
+    }
+  }
+
+  bool covers(std::uint64_t begin, std::uint64_t end) const {
+    if (begin >= end) return true;
+    auto it = ranges_.upper_bound(begin);
+    if (it == ranges_.begin()) return false;
+    --it;
+    return it->second >= end;
+  }
+
+  bool intersects(std::uint64_t begin, std::uint64_t end) const {
+    if (begin >= end) return false;
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > begin) return true;
+    }
+    return it != ranges_.end() && it->first < end;
+  }
+
+  std::vector<ByteRange> gaps_within(std::uint64_t begin, std::uint64_t end) const {
+    std::vector<ByteRange> gaps;
+    std::uint64_t cursor = begin;
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > cursor) cursor = std::min(prev->second, end);
+    }
+    for (; it != ranges_.end() && it->first < end; ++it) {
+      if (it->first > cursor) gaps.push_back(ByteRange{cursor, it->first});
+      cursor = std::max(cursor, std::min(it->second, end));
+    }
+    if (cursor < end) gaps.push_back(ByteRange{cursor, end});
+    return gaps;
+  }
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& [b, e] : ranges_) sum += e - b;
+    return sum;
+  }
+
+  std::vector<ByteRange> ranges() const {
+    std::vector<ByteRange> out;
+    out.reserve(ranges_.size());
+    for (const auto& [b, e] : ranges_) out.push_back(ByteRange{b, e});
+    return out;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ranges_;
+};
+
+class RangeSetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeSetModelTest, RandomizedOpsMatchReferenceModel) {
+  sim::Rng rng(GetParam());
+  RangeSet flat;
+  MapRangeSet model;
+  constexpr std::uint64_t kSpace = 1 << 16;  // small space forces overlaps
+  for (int op = 0; op < 20'000; ++op) {
+    const std::uint64_t b = rng.uniform(kSpace);
+    // Mix of tiny, chunk-sized and huge ranges, including begin == end.
+    const std::uint64_t len = rng.uniform(3) == 0 ? rng.uniform(kSpace / 2)
+                                                  : rng.uniform(256);
+    const std::uint64_t e = std::min(b + len, kSpace);
+    switch (rng.uniform(4)) {
+      case 0:
+      case 1:
+        flat.add(b, e);
+        model.add(b, e);
+        break;
+      case 2:
+        flat.remove(b, e);
+        model.remove(b, e);
+        break;
+      default: {
+        EXPECT_EQ(flat.covers(b, e), model.covers(b, e)) << "op " << op;
+        EXPECT_EQ(flat.intersects(b, e), model.intersects(b, e)) << "op " << op;
+        EXPECT_EQ(flat.gaps_within(b, e), model.gaps_within(b, e)) << "op " << op;
+        break;
+      }
+    }
+    if (op % 256 == 0) {
+      ASSERT_EQ(flat.ranges(), model.ranges()) << "op " << op;
+      ASSERT_EQ(flat.total_bytes(), model.total_bytes()) << "op " << op;
+      ASSERT_EQ(flat.empty(), model.ranges().empty()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(flat.ranges(), model.ranges());
+  EXPECT_EQ(flat.total_bytes(), model.total_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetModelTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+TEST(RangeSetModel, AdjacentRangesCoalesce) {
+  RangeSet rs;
+  rs.add(0, 10);
+  rs.add(10, 20);  // adjacent, must merge
+  ASSERT_EQ(rs.ranges().size(), 1u);
+  EXPECT_EQ(rs.ranges()[0], (ByteRange{0, 20}));
+  rs.add(30, 40);
+  rs.add(21, 29);  // NOT adjacent to either side
+  EXPECT_EQ(rs.ranges().size(), 3u);
+  rs.add(20, 21);  // bridges [0,20) and [21,29)
+  rs.add(29, 30);  // bridges the rest
+  ASSERT_EQ(rs.ranges().size(), 1u);
+  EXPECT_EQ(rs.ranges()[0], (ByteRange{0, 40}));
+}
+
+TEST(RangeSetModel, RemoveSplitsInPlace) {
+  RangeSet rs;
+  rs.add(0, 100);
+  rs.remove(40, 60);
+  ASSERT_EQ(rs.ranges().size(), 2u);
+  EXPECT_EQ(rs.ranges()[0], (ByteRange{0, 40}));
+  EXPECT_EQ(rs.ranges()[1], (ByteRange{60, 100}));
+  EXPECT_FALSE(rs.covers(39, 41));
+  EXPECT_TRUE(rs.intersects(39, 41));
+  const auto gaps = rs.gaps_within(0, 100);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (ByteRange{40, 60}));
+}
+
+}  // namespace
+}  // namespace dpar::cache

@@ -1,6 +1,10 @@
 // Unit tests for the discrete-event engine, RNG and stats primitives.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -99,6 +103,91 @@ TEST(Engine, EmptyReflectsCancelledEvents) {
   EXPECT_FALSE(eng.empty());
   eng.cancel(id);
   EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, AfterOverflowThrowsPreciseError) {
+  Engine eng;
+  eng.at(secs(1), [] {});
+  eng.run();  // now() > 0, so max delay must overflow
+  EXPECT_THROW(eng.after(std::numeric_limits<Time>::max(), [] {}),
+               std::overflow_error);
+  // The engine stays usable after the rejected schedule.
+  bool fired = false;
+  eng.after(msec(1), [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelReclaimsSlotAndMemoryImmediately) {
+  // Regression: cancelling far-future events must reclaim their bookkeeping
+  // promptly — the seed engine grew its cancelled_ set without bound.
+  Engine eng;
+  for (int i = 0; i < 100'000; ++i) {
+    EventId id = eng.at(secs(1'000'000) + i, [] {});
+    ASSERT_TRUE(eng.cancel(id));
+  }
+  // One live slot at a time -> the slab never grows past a single slot...
+  EXPECT_EQ(eng.slab_slots(), 1u);
+  // ...and heap compaction keeps stale keys bounded (not 100k of them).
+  EXPECT_LT(eng.queue_depth(), 256u);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, StaleIdNeverCancelsReusedSlot) {
+  Engine eng;
+  EventId id1 = eng.at(secs(100), [] {});
+  ASSERT_TRUE(eng.cancel(id1));
+  // The freed slot is reused by the next event; the old id must not alias it.
+  bool fired = false;
+  EventId id2 = eng.at(secs(200), [&] { fired = true; });
+  EXPECT_EQ(id1.slot, id2.slot);
+  EXPECT_FALSE(eng.cancel(id1));
+  eng.run();
+  EXPECT_TRUE(fired);
+  // Both ids are stale now.
+  EXPECT_FALSE(eng.cancel(id2));
+}
+
+TEST(Engine, FiredEventFreesItsSlotForReuse) {
+  Engine eng;
+  EventId id1 = eng.at(msec(1), [] {});
+  eng.run();
+  EventId id2 = eng.at(msec(2), [] {});
+  EXPECT_EQ(eng.slab_slots(), 1u);
+  EXPECT_EQ(id1.slot, id2.slot);
+  EXPECT_NE(id1.gen, id2.gen);
+  eng.run();
+}
+
+TEST(Engine, LargeCapturesFallBackToHeapCorrectly) {
+  Engine eng;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes, past the inline buffer
+  big.fill(7);
+  std::uint64_t sum = 0;
+  eng.at(msec(1), [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  eng.run();
+  EXPECT_EQ(sum, 16u * 7u);
+}
+
+TEST(Engine, CancelHeavyChurnStaysDeterministic) {
+  // Interleaved schedule/cancel/fire with slot reuse must preserve the
+  // (time, scheduling-order) firing contract.
+  Engine eng;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(eng.at(msec(10 + i % 3), [&order, i] { order.push_back(i); }));
+  for (int i = 0; i < 100; i += 2) eng.cancel(ids[static_cast<std::size_t>(i)]);
+  eng.run();
+  ASSERT_EQ(order.size(), 50u);
+  // Odd indices only, grouped by time (10+i%3), ascending seq within a group.
+  std::vector<int> expect;
+  for (int t = 0; t < 3; ++t)
+    for (int i = 1; i < 100; i += 2)
+      if (i % 3 == t) expect.push_back(i);
+  EXPECT_EQ(order, expect);
 }
 
 TEST(FifoResource, ServesSeriallyInOrder) {
