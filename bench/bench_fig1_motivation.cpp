@@ -25,6 +25,8 @@ using bench::Variant;
 
 namespace {
 
+bench::PerfLog g_perf;
+
 struct RunResult {
   double seconds = 0;
   std::uint64_t reversals = 0;
@@ -42,9 +44,12 @@ RunResult run_demo(Variant v, std::uint64_t file_size, std::uint64_t segment,
   mpi::Job& job = tb.add_job("demo", 8, bench::driver_for(tb, v),
                              [cfg](std::uint32_t) { return wl::make_demo(cfg); },
                              bench::policy_for(v));
-  tb.run();
+  auto tm = g_perf.start(std::string(bench::variant_name(v)) + " seg=" +
+                         std::to_string(segment >> 10) + "KB");
+  const std::uint64_t events = tb.run();
   RunResult r;
   r.seconds = sim::to_seconds(job.completion_time() - job.start_time());
+  g_perf.finish(tm, r.seconds, events);
   r.reversals = bench::trace_reversals(tb.server(1).trace().events());
   if (keep_trace) {
     // Sample a window in the middle of the run, as the paper does (5.2-5.4s).
@@ -121,5 +126,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s2.reversals),
                 static_cast<unsigned long long>(s3.reversals));
   }
+  g_perf.write("bench_fig1_motivation");
   return 0;
 }

@@ -15,6 +15,8 @@ using bench::Variant;
 
 namespace {
 
+bench::PerfLog g_perf;
+
 double run_s3asim(std::uint32_t queries, Variant v, std::uint64_t scale) {
   harness::Testbed tb(bench::paper_config());
   const std::uint32_t instances = 3;
@@ -35,8 +37,12 @@ double run_s3asim(std::uint32_t queries, Variant v, std::uint64_t scale) {
                [cfg](std::uint32_t) { return wl::make_s3asim(cfg); },
                bench::policy_for(v));
   }
-  tb.run();
-  return tb.total_io_time_s();
+  auto tm = g_perf.start(std::string(bench::variant_name(v)) + " q=" +
+                         std::to_string(queries));
+  const std::uint64_t events = tb.run();
+  const double io_s = tb.total_io_time_s();
+  g_perf.finish(tm, io_s, events);
+  return io_s;
 }
 
 }  // namespace
@@ -64,5 +70,6 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("mean DualPar I/O-time saving: %.0f%% (paper: 17%%)\n",
               savings / n * 100.0);
+  g_perf.write("bench_fig5_s3asim");
   return 0;
 }

@@ -20,6 +20,8 @@ using bench::Variant;
 
 namespace {
 
+bench::PerfLog g_perf;
+
 struct Timeline {
   sim::TimeSeries throughput;
   sim::TimeSeries seek;
@@ -58,7 +60,8 @@ Timeline run(bool use_dualpar, std::uint64_t scale) {
                         [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); }, policy);
   tb.add_job("hpio", 64, drv, [hc](std::uint32_t) { return wl::make_hpio(hc); },
              policy, join_at);
-  tb.run();
+  auto tm = g_perf.start(use_dualpar ? "DualPar adaptive" : "vanilla MPI-IO");
+  const std::uint64_t events = tb.run();
 
   Timeline out;
   out.throughput = tb.monitor().throughput_series();
@@ -69,6 +72,7 @@ Timeline run(bool use_dualpar, std::uint64_t scale) {
   out.phase2_mbs = metrics::series_mean(out.throughput, join_at + sim::secs(1),
                                         join_at + sim::secs(60));
   (void)j1;
+  g_perf.finish(tm, out.phase2_mbs, events);
   return out;
 }
 
@@ -108,5 +112,6 @@ int main(int argc, char** argv) {
   std::printf("EMC mode switches during the DualPar run: %llu (expect >= 2: "
               "both jobs flip to data-driven after t=5s)\n",
               static_cast<unsigned long long>(dualpar.mode_switches));
+  g_perf.write("bench_fig7_adaptive");
   return 0;
 }

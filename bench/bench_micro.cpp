@@ -1,17 +1,28 @@
 // Microbenchmarks (google-benchmark) of the simulator's hot primitives:
-// event-engine throughput, disk-scheduler operations, range-set bookkeeping,
+// event-engine throughput, disk-scheduler operations (flat vs retained
+// multimap reference), network send/deliver churn, range-set bookkeeping,
 // striping decomposition, and end-to-end simulated-seconds-per-wall-second.
+//
+// Unlike the figure/table benches this binary has no ExperimentPool, so a
+// custom main (bottom of file) captures every run from the benchmark
+// reporter and merges a "bench_micro" section into BENCH_sim_core.json —
+// the file the CI perf-smoke job diffs against its checked-in baseline.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "cache/rangeset.hpp"
 #include "disk/device.hpp"
 #include "disk/scheduler.hpp"
+#include "harness.hpp"
 #include "harness/testbed.hpp"
+#include "net/network.hpp"
 #include "pfs/layout.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -195,6 +206,152 @@ void BM_CfqEnqueueDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CfqEnqueueDispatch)->Arg(1)->Arg(16)->Arg(64);
 
+// ---- Scheduler duty cycle: flat rewrites vs the retained multimap
+// references. One item = one request taken through enqueue -> next ->
+// completed under a PFS-server-like load: bursty arrivals from a handful of
+// contexts, partial drains, and periodic time jumps large enough to trip the
+// deadline scheduler's expiry FIFOs. The perf-smoke CI gate requires
+// flat >= 1.3x reference events/sec per policy.
+using SchedFactory = std::unique_ptr<disk::IoScheduler> (*)();
+
+constexpr int kSchedRounds = 16;
+constexpr int kSchedBurst = 64;
+
+void sched_duty_cycle(disk::IoScheduler& sched, std::uint64_t contexts,
+                      std::uint64_t& sink) {
+  sim::Rng rng(7);
+  sim::Time now = 0;
+  std::uint64_t head = 0;
+  std::uint64_t next_id = 1;
+  auto serve = [&](int limit) {
+    for (int served = 0; sched.pending() > 0 && served < limit;) {
+      auto d = sched.next(head, now);
+      if (d.kind == disk::Decision::Kind::kWaitUntil) {
+        now = d.wait_until;
+        continue;
+      }
+      if (d.kind == disk::Decision::Kind::kIdle) break;
+      head = d.request.end_lba();
+      now += sim::usec(80);
+      sched.completed(d.request, now);
+      ++served;
+    }
+  };
+  for (int round = 0; round < kSchedRounds; ++round) {
+    for (int i = 0; i < kSchedBurst; ++i) {
+      disk::Request r;
+      r.id = next_id++;
+      r.lba = rng.uniform(1 << 24);
+      r.sectors = 32;
+      r.is_write = rng.uniform(4) == 0;
+      r.context = rng.uniform(contexts);
+      sched.enqueue(std::move(r), now);
+      now += sim::usec(10);
+    }
+    serve(kSchedBurst / 2);
+    // Jump far enough that several rounds in, queued reads blow their 500 ms
+    // deadline and the expiry path gets exercised.
+    now += sim::msec(120);
+  }
+  serve(1 << 30);
+  sink = head;
+}
+
+void BM_SchedDutyCycle(benchmark::State& state, SchedFactory make) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    auto sched = make();
+    sched_duty_cycle(*sched, 16, sink);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kSchedRounds * kSchedBurst);
+}
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, noop_flat,
+                  +[] { return disk::make_noop_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, noop_ref,
+                  +[] { return disk::make_reference_noop_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, deadline_flat,
+                  +[] { return disk::make_deadline_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, deadline_ref,
+                  +[] { return disk::make_reference_deadline_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, cscan_flat,
+                  +[] { return disk::make_cscan_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, cscan_ref,
+                  +[] { return disk::make_reference_cscan_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, cfq_flat,
+                  +[] { return disk::make_cfq_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, cfq_ref,
+                  +[] { return disk::make_reference_cfq_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, anticipatory_flat,
+                  +[] { return disk::make_anticipatory_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedDutyCycle, anticipatory_ref,
+                  +[] { return disk::make_reference_anticipatory_scheduler(); });
+
+// The batch hand-off a PFS server uses for a decomposed list-I/O request:
+// enqueue_batch on the flat scheduler merges one sorted run; the reference
+// falls back to per-request enqueue.
+void BM_SchedEnqueueBatch(benchmark::State& state, SchedFactory make) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    auto sched = make();
+    sim::Rng rng(13);
+    std::vector<disk::Request> batch(64);
+    std::uint64_t next_id = 1;
+    for (int round = 0; round < 8; ++round) {
+      // An ascending run, like decompose_segment emits.
+      std::uint64_t lba = rng.uniform(1 << 20);
+      for (auto& r : batch) {
+        r = disk::Request{};
+        r.id = next_id++;
+        r.lba = lba;
+        lba += 64 + rng.uniform(64);
+        r.sectors = 32;
+        r.context = 5;
+      }
+      sched->enqueue_batch(batch.data(), batch.size(), 0);
+    }
+    std::uint64_t head = 0;
+    while (sched->pending() > 0) {
+      auto d = sched->next(head, 0);
+      if (d.kind != disk::Decision::Kind::kDispatch) break;
+      head = d.request.end_lba();
+    }
+    sink = head;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 64);
+}
+BENCHMARK_CAPTURE(BM_SchedEnqueueBatch, cscan_flat,
+                  +[] { return disk::make_cscan_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedEnqueueBatch, cscan_ref,
+                  +[] { return disk::make_reference_cscan_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedEnqueueBatch, deadline_flat,
+                  +[] { return disk::make_deadline_scheduler(); });
+BENCHMARK_CAPTURE(BM_SchedEnqueueBatch, deadline_ref,
+                  +[] { return disk::make_reference_deadline_scheduler(); });
+
+// Network send/deliver churn: the per-message path is one Transit control
+// block + two FifoResource hops; one item = one delivered message.
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Network net(eng, 16);
+    sim::Rng rng(23);
+    for (int i = 0; i < 1024; ++i) {
+      const auto from = static_cast<net::NodeId>(rng.uniform(16));
+      auto to = static_cast<net::NodeId>(rng.uniform(16));
+      if (to == from) to = (to + 1) % 16;
+      net.send(from, to, 4096 + rng.uniform(1 << 16),
+               [&delivered] { ++delivered; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
 void BM_RangeSetAddCovers(benchmark::State& state) {
   sim::Rng rng(3);
   for (auto _ : state) {
@@ -272,6 +429,50 @@ void BM_EndToEndMpiIoTest(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndMpiIoTest)->Unit(benchmark::kMillisecond);
 
+// Forward every run to the normal console output while collecting one
+// PerfEntry per benchmark, so bench_micro lands in BENCH_sim_core.json like
+// the figure/table benches. value = items/sec (the duty-cycle rate the CI
+// perf-smoke gate compares), events = total items processed.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      metrics::PerfEntry e;
+      e.label = run.benchmark_name();
+      auto it = run.counters.find("items_per_second");
+      // Benches without SetItemsProcessed still need a comparable rate:
+      // fall back to iterations/sec.
+      e.value = it != run.counters.end() ? static_cast<double>(it->second)
+                : run.real_accumulated_time > 0
+                    ? static_cast<double>(run.iterations) / run.real_accumulated_time
+                    : 0;
+      e.events = run.iterations;
+      e.wall_s = run.real_accumulated_time;
+      entries_.push_back(std::move(e));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<metrics::PerfEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<metrics::PerfEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto suite_start = std::chrono::steady_clock::now();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_start)
+          .count();
+  if (!reporter.entries().empty())
+    bench::write_perf_json("bench_micro", reporter.entries(), wall_s, 1);
+  return 0;
+}

@@ -15,6 +15,8 @@ using bench::Variant;
 
 namespace {
 
+bench::PerfLog g_perf;
+
 struct Result {
   double mbs = 0;
   double mean_seek = 0;
@@ -36,9 +38,12 @@ Result run_pair(bool is_write, Variant v, std::uint64_t scale, bool keep_trace) 
                                [cfg](std::uint32_t) { return wl::make_mpi_io_test(cfg); },
                                bench::policy_for(v)));
   }
-  tb.run();
+  auto tm = g_perf.start(std::string(is_write ? "write " : "read ") +
+                         bench::variant_name(v));
+  const std::uint64_t events = tb.run();
   Result r;
   r.mbs = tb.system_throughput_mbs();
+  g_perf.finish(tm, r.mbs, events);
   r.mean_seek = tb.server(1).trace().mean_seek_distance();
   if (keep_trace) {
     const sim::Time mid = jobs[0]->completion_time() / 2;
@@ -78,5 +83,6 @@ int main(int argc, char** argv) {
   std::printf("\nmean seek distance on server 1 (sectors): vanilla=%.0f "
               "DualPar=%.0f (%.1fx reduction; paper: up to 10x)\n",
               vr.mean_seek, dr.mean_seek, vr.mean_seek / dr.mean_seek);
+  g_perf.write("bench_table2_concurrent");
   return 0;
 }

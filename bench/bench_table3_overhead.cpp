@@ -15,6 +15,8 @@ using namespace dpar;
 
 namespace {
 
+bench::PerfLog g_perf;
+
 struct Result {
   double seconds;
   bool latched;
@@ -37,10 +39,15 @@ Result run_dependent(std::uint64_t quota, std::uint64_t scale) {
                  : tb.add_job("dep", 8, tb.dualpar(),
                               [dc](std::uint32_t) { return wl::make_dependent(dc); },
                               dualpar::Policy::kForcedDataDriven);
-  tb.run();
-  return Result{sim::to_seconds(job.completion_time() - job.start_time()),
-                quota > 0 && tb.emc().latched_off(job.id()),
-                tb.dualpar().stats().cycles};
+  auto tm = g_perf.start(quota == 0 ? "no DualPar"
+                                     : "DualPar cache " +
+                                           std::to_string(quota >> 10) + "KB");
+  const std::uint64_t events = tb.run();
+  Result r{sim::to_seconds(job.completion_time() - job.start_time()),
+           quota > 0 && tb.emc().latched_off(job.id()),
+           tb.dualpar().stats().cycles};
+  g_perf.finish(tm, r.seconds, events);
+  return r;
 }
 
 }  // namespace
@@ -64,5 +71,6 @@ int main(int argc, char** argv) {
   t.add_note("paper: worst-case increase is small (7.2% at 4 MB cache) and "
              "one-time — the mis-prefetch gate turns the mode off");
   t.print();
+  g_perf.write("bench_table3_overhead");
   return 0;
 }

@@ -17,6 +17,8 @@ using bench::Variant;
 
 namespace {
 
+bench::PerfLog g_perf;
+
 double run(Variant v, double degrade_factor, std::uint64_t scale) {
   harness::TestbedConfig cfg = bench::paper_config();
   if (degrade_factor < 1.0) {
@@ -36,8 +38,13 @@ double run(Variant v, double degrade_factor, std::uint64_t scale) {
   mpi::Job& job = tb.add_job("job", 64, bench::driver_for(tb, v),
                              [mc](std::uint32_t) { return wl::make_mpi_io_test(mc); },
                              bench::policy_for(v));
-  tb.run();
-  return tb.job_throughput_mbs(job);
+  auto tm = g_perf.start(std::string(bench::variant_name(v)) + " speed=" +
+                         std::to_string(static_cast<int>(degrade_factor * 100)) +
+                         "%");
+  const std::uint64_t events = tb.run();
+  const double mbs = tb.job_throughput_mbs(job);
+  g_perf.finish(tm, mbs, events);
+  return mbs;
 }
 
 }  // namespace
@@ -70,5 +77,6 @@ int main(int argc, char** argv) {
               run(Variant::kVanilla, 0.25, scale) / v0 * 100.0,
               run(Variant::kCollective, 0.25, scale) / c0 * 100.0,
               run(Variant::kDualPar, 0.25, scale) / d0 * 100.0);
+  g_perf.write("bench_variability");
   return 0;
 }

@@ -61,10 +61,16 @@ std::string write_perf_json(const std::string& bench_name, ExperimentPool& pool)
   for (const ExperimentRecord& r : records)
     entries.push_back(metrics::PerfEntry{r.label, r.stats.value, r.stats.events,
                                          r.wall_s});
+  return write_perf_json(bench_name, entries, pool.suite_wall_s(), pool.jobs());
+}
+
+std::string write_perf_json(const std::string& bench_name,
+                            const std::vector<metrics::PerfEntry>& entries,
+                            double suite_wall_s, unsigned jobs) {
   const char* env = std::getenv("DPAR_BENCH_JSON");
   const std::string path = env ? env : "BENCH_sim_core.json";
-  if (!metrics::write_bench_perf_json(path, bench_name, entries,
-                                      pool.suite_wall_s(), pool.jobs())) {
+  if (!metrics::write_bench_perf_json(path, bench_name, entries, suite_wall_s,
+                                      jobs)) {
     // stderr so stdout stays byte-comparable across runs.
     std::fprintf(stderr, "warning: could not write perf accounting to %s\n",
                  path.c_str());

@@ -7,6 +7,7 @@
 // thresholds are never scaled — only total data volume).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,6 +36,53 @@ std::uint64_t scale_divisor(int argc, char** argv);
 /// shared perf report. Path from the DPAR_BENCH_JSON env var, default
 /// "BENCH_sim_core.json". Returns the path written (empty on failure).
 std::string write_perf_json(const std::string& bench_name, ExperimentPool& pool);
+
+/// Merge a hand-built entry list (benches that run inline, without a pool or
+/// with extra per-run outputs a pool Task cannot return). Same path rules as
+/// the pool overload; nothing is written to stdout, so bench output stays
+/// byte-comparable across runs.
+std::string write_perf_json(const std::string& bench_name,
+                            const std::vector<metrics::PerfEntry>& entries,
+                            double suite_wall_s, unsigned jobs = 1);
+
+/// Perf accounting for benches whose experiments run inline on the main
+/// thread: time each run, collect one PerfEntry per experiment, then merge a
+/// section into the shared report at exit.
+class PerfLog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  PerfLog() : suite_start_(Clock::now()) {}
+
+  class Timer {
+   public:
+    explicit Timer(std::string label) : label_(std::move(label)), start_(Clock::now()) {}
+
+   private:
+    friend class PerfLog;
+    std::string label_;
+    Clock::time_point start_;
+  };
+
+  Timer start(std::string label) { return Timer(std::move(label)); }
+
+  /// Stop `t` and file its entry (headline metric + engine events fired).
+  void finish(const Timer& t, double value, std::uint64_t events) {
+    const double wall_s = std::chrono::duration<double>(Clock::now() - t.start_).count();
+    entries_.push_back(metrics::PerfEntry{t.label_, value, events, wall_s});
+  }
+
+  /// Merge this bench's section into the shared report; see write_perf_json.
+  std::string write(const std::string& bench_name) const {
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - suite_start_).count();
+    return write_perf_json(bench_name, entries_, wall_s);
+  }
+
+ private:
+  std::vector<metrics::PerfEntry> entries_;
+  Clock::time_point suite_start_;
+};
 
 /// Simple aligned table with a title, headers, numeric rows and footnotes.
 class Table {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fanin.hpp"
+
 namespace dpar::cache {
 
 GlobalCache::GlobalCache(sim::Engine& eng, net::Network& net,
@@ -191,7 +193,7 @@ void GlobalCache::drop_clean(std::uint64_t owner) {
 
 void GlobalCache::transfer(pfs::FileId file, const pfs::Segment& seg,
                            net::NodeId from_node, bool to_cache,
-                           std::function<void()> done) {
+                           sim::UniqueFunction done) {
   // Group bytes by (placed) home node and move one message per home.
   std::map<net::NodeId, std::uint64_t> per_home;
   slices(params_.chunk_bytes, seg,
@@ -202,21 +204,17 @@ void GlobalCache::transfer(pfs::FileId file, const pfs::Segment& seg,
     eng_.after(0, std::move(done));
     return;
   }
-  auto outstanding = std::make_shared<std::size_t>(per_home.size());
-  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  auto* fan = sim::make_fanin(per_home.size(), std::move(done));
   for (const auto& [home, bytes] : per_home) {
-    auto finish = [outstanding, done_shared] {
-      if (--*outstanding == 0) (*done_shared)();
-    };
     if (to_cache) {
       // put: payload travels to the home node.
-      net_.send(from_node, home, bytes + 64, std::move(finish));
+      net_.send(from_node, home, bytes + 64, [fan] { fan->complete(); });
     } else {
       // get: small request, payload comes back.
       const auto h = home;
       const auto b = bytes;
-      net_.send(from_node, h, 64, [this, h, from_node, b, finish = std::move(finish)] {
-        net_.send(h, from_node, b + 64, std::move(finish));
+      net_.send(from_node, h, 64, [this, h, from_node, b, fan] {
+        net_.send(h, from_node, b + 64, [fan] { fan->complete(); });
       });
     }
   }

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +17,7 @@
 #include "net/network.hpp"
 #include "pfs/layout.hpp"
 #include "sim/engine.hpp"
+#include "sim/func.hpp"
 #include "sim/rng.hpp"
 
 namespace dpar::cache {
@@ -103,7 +103,7 @@ class GlobalCache {
   /// of `file` from `from_node`; `done` fires when all per-home messages
   /// complete. `to_cache` selects put (true) or get (false) direction.
   void transfer(pfs::FileId file, const pfs::Segment& seg, net::NodeId from_node,
-                bool to_cache, std::function<void()> done);
+                bool to_cache, sim::UniqueFunction done);
 
   /// Static round-robin home (placement when no hint is given).
   net::NodeId home_node(const ChunkKey& key) const {

@@ -4,7 +4,8 @@
 
 namespace dpar::cluster {
 
-void ComputeNode::run(sim::Time duration, CpuPriority prio, std::function<void()> done) {
+void ComputeNode::run(sim::Time duration, CpuPriority prio,
+                      sim::UniqueFunction done) {
   Task task{duration, prio, std::move(done)};
   if (prio == CpuPriority::kNormal) {
     normal_q_.push_back(std::move(task));
@@ -37,8 +38,19 @@ void ComputeNode::start(Task task) {
   } else {
     ghost_time_ += task.duration;
   }
-  eng_.after(task.duration, [this, done = std::move(task.done)] {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    running_[slot] = std::move(task.done);
+  } else {
+    slot = static_cast<std::uint32_t>(running_.size());
+    running_.push_back(std::move(task.done));
+  }
+  eng_.after(task.duration, [this, slot] {
     --busy_;
+    sim::UniqueFunction done = std::move(running_[slot]);
+    free_slots_.push_back(slot);
     done();
     dispatch();
   });

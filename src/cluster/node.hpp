@@ -9,9 +9,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/func.hpp"
 #include "sim/time.hpp"
 
 namespace dpar::cluster {
@@ -27,7 +28,7 @@ class ComputeNode {
   ComputeNode& operator=(const ComputeNode&) = delete;
 
   /// Run a compute burst of `duration`; `done` fires when it finishes.
-  void run(sim::Time duration, CpuPriority prio, std::function<void()> done);
+  void run(sim::Time duration, CpuPriority prio, sim::UniqueFunction done);
 
   std::uint32_t id() const { return node_id_; }
   std::uint32_t cores() const { return cores_; }
@@ -40,7 +41,7 @@ class ComputeNode {
   struct Task {
     sim::Time duration;
     CpuPriority prio;
-    std::function<void()> done;
+    sim::UniqueFunction done;
   };
 
   void dispatch();
@@ -52,6 +53,11 @@ class ComputeNode {
   std::uint32_t busy_ = 0;
   std::deque<Task> normal_q_;
   std::deque<Task> ghost_q_;
+  /// Continuations of in-service bursts (one slot per busy core, free-listed);
+  /// the engine lambda captures {this, slot} instead of spilling a 72-byte
+  /// callback to the heap.
+  std::vector<sim::UniqueFunction> running_;
+  std::vector<std::uint32_t> free_slots_;
   sim::Time normal_time_ = 0;
   sim::Time ghost_time_ = 0;
 };

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/fanin.hpp"
+
 namespace dpar::disk {
 
 DiskDevice::DiskDevice(sim::Engine& eng, DiskParams params,
@@ -46,6 +48,20 @@ void DiskDevice::submit(Request r) {
   poll();
 }
 
+void DiskDevice::submit_batch(std::vector<Request> batch) {
+  // While the device is idle (or plugged) each submit may change dispatch
+  // state, so requests go through the scalar path one by one. Once busy_, a
+  // submit reduces to arrival-stamp + enqueue (submit() returns before any
+  // plug/poll logic) — so the whole tail can be handed to the scheduler in
+  // one enqueue_batch call with identical semantics.
+  std::size_t i = 0;
+  for (; i < batch.size() && !busy_; ++i) submit(std::move(batch[i]));
+  if (i == batch.size()) return;
+  const sim::Time now = eng_.now();
+  for (std::size_t j = i; j < batch.size(); ++j) batch[j].arrival = now;
+  sched_->enqueue_batch(batch.data() + i, batch.size() - i, now);
+}
+
 void DiskDevice::poll() {
   if (busy_) return;
   wait_event_ = {};
@@ -75,10 +91,14 @@ void DiskDevice::poll() {
       busy_time_ += t;
       ++served_;
       bytes_ += req.bytes();
-      eng_.after(t, [this, req = std::move(req)]() mutable {
+      inflight_ = std::move(req);
+      eng_.after(t, [this] {
         busy_ = false;
-        sched_->completed(req, eng_.now());
-        if (req.done) req.done();
+        // Move out first: the completion may re-enter submit()/poll() and
+        // dispatch the next request into inflight_.
+        Request done_req = std::move(inflight_);
+        sched_->completed(done_req, eng_.now());
+        if (done_req.done) done_req.done();
         poll();
       });
       return;
@@ -134,8 +154,10 @@ void Raid0Device::submit(Request r) {
     remaining -= take;
   }
 
-  auto outstanding = std::make_shared<std::size_t>(pieces.size());
-  auto done = std::move(r.done);
+  auto* fan = sim::make_fanin(
+      pieces.size(), [done = std::move(r.done)]() mutable {
+        if (done) done();
+      });
   for (const Piece& p : pieces) {
     Request sub;
     sub.id = next_id_++;
@@ -143,9 +165,7 @@ void Raid0Device::submit(Request r) {
     sub.sectors = static_cast<std::uint32_t>(p.sectors);
     sub.is_write = r.is_write;
     sub.context = r.context;
-    sub.done = [outstanding, done] {
-      if (--*outstanding == 0 && done) done();
-    };
+    sub.done = [fan] { fan->complete(); };
     member(p.member).submit(std::move(sub));
   }
 }

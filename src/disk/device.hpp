@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "disk/blktrace.hpp"
 #include "disk/model.hpp"
@@ -17,6 +18,13 @@ class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
   virtual void submit(Request r) = 0;
+  /// Submit a whole decomposed list-I/O batch. Semantically identical to
+  /// calling submit() on each request in order (completion order and timing
+  /// are unchanged); devices may override to hand the scheduler the bulk of
+  /// the batch in one call instead of N queue round-trips.
+  virtual void submit_batch(std::vector<Request> batch) {
+    for (Request& r : batch) submit(std::move(r));
+  }
   virtual std::uint64_t capacity_sectors() const = 0;
 };
 
@@ -25,6 +33,7 @@ class DiskDevice final : public BlockDevice {
   DiskDevice(sim::Engine& eng, DiskParams params, std::unique_ptr<IoScheduler> sched);
 
   void submit(Request r) override;
+  void submit_batch(std::vector<Request> batch) override;
   std::uint64_t capacity_sectors() const override { return model_.params().capacity_sectors(); }
 
   BlkTrace& trace() { return trace_; }
@@ -43,6 +52,10 @@ class DiskDevice final : public BlockDevice {
   DiskModel model_;
   std::unique_ptr<IoScheduler> sched_;
   BlkTrace trace_;
+  /// The one request in service while busy_; parked here so the completion
+  /// event captures only `this` instead of spilling the request (and its
+  /// callback) into a heap-allocated closure.
+  Request inflight_;
   bool busy_ = false;
   bool plugged_ = false;
   sim::EventId plug_event_{};

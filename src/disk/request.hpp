@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/func.hpp"
 #include "sim/time.hpp"
 
 namespace dpar::disk {
@@ -25,7 +25,10 @@ struct Request {
   /// CFQ keeps one queue per context.
   std::uint64_t context = 0;
   sim::Time arrival = 0;
-  std::function<void()> done;
+  /// Completion continuation. Move-only: a Request has exactly one owner at a
+  /// time (issuer → scheduler queue → device in-flight slot), and the callback
+  /// rides along without ever being copied or re-allocated.
+  sim::UniqueFunction done;
 
   std::uint64_t end_lba() const { return lba + sectors; }
   std::uint64_t bytes() const { return std::uint64_t{sectors} * kSectorBytes; }

@@ -6,11 +6,16 @@
 // without CFQ's per-context queues. The model keeps per-context think-time
 // and locality statistics and waits only when the last-served context's
 // history makes a nearby follow-up likely.
+//
+// Flat layout: the queue is a SortedRunQueue (was std::multimap) and the
+// per-context stats live in an open-addressed ContextTable (was std::map).
+// sched_reference.cpp keeps the map-based original as the differential
+// oracle.
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "disk/scheduler.hpp"
+#include "disk/sorted_queue.hpp"
 #include "sim/stats.hpp"
 
 namespace dpar::disk {
@@ -22,14 +27,15 @@ class AnticipatoryScheduler final : public IoScheduler {
       : window_(antic_window), max_wait_(max_wait) {}
 
   void enqueue(Request r, sim::Time now) override {
-    auto& st = stats_[r.context];
-    if (st.last_completion >= 0) {
-      st.think_time.add(static_cast<double>(now - st.last_completion));
-      const std::uint64_t dist = r.lba > st.last_end ? r.lba - st.last_end
-                                                     : st.last_end - r.lba;
-      st.seek_dist.add(static_cast<double>(dist));
-    }
-    sorted_.emplace(r.lba, std::move(r));
+    update_stats(r, now);
+    sorted_.insert(std::move(r));
+  }
+
+  void enqueue_batch(Request* batch, std::size_t n, sim::Time now) override {
+    // Stats depend only on arrival order, not on queue contents, so they can
+    // all be folded in before the single batch merge.
+    for (std::size_t i = 0; i < n; ++i) update_stats(batch[i], now);
+    sorted_.insert_batch(batch, n);
   }
 
   Decision next(std::uint64_t head_lba, sim::Time now) override {
@@ -42,25 +48,21 @@ class AnticipatoryScheduler final : public IoScheduler {
     // If we are anticipating the last context and the best queued request is
     // far away, keep waiting (up to the deadline) for a near one.
     if (anticipating_ && now < antic_deadline_) {
-      auto it = pick(head_lba);
-      const std::uint64_t dist = it->second.lba > head_lba
-                                     ? it->second.lba - head_lba
-                                     : head_lba - it->second.lba;
-      if (it->second.context == antic_context_ || dist <= kNearSectors) {
+      const Request& r = sorted_.peek(sorted_.pick(head_lba));
+      const std::uint64_t dist = r.lba > head_lba ? r.lba - head_lba
+                                                  : head_lba - r.lba;
+      if (r.context == antic_context_ || dist <= kNearSectors) {
         anticipating_ = false;  // the bet paid off (or a near request showed up)
       } else {
         return Decision::wait(antic_deadline_);
       }
     }
     anticipating_ = false;
-    auto it = pick(head_lba);
-    Request r = std::move(it->second);
-    sorted_.erase(it);
-    return Decision::dispatch(std::move(r));
+    return Decision::dispatch(sorted_.take(sorted_.pick(head_lba)));
   }
 
   void completed(const Request& r, sim::Time now) override {
-    auto& st = stats_[r.context];
+    CtxStats& st = stats_.find_or_insert(r.context);
     st.last_completion = now;
     st.last_end = r.end_lba();
     // Anticipate only sync-looking contexts: short think times and mostly
@@ -90,15 +92,19 @@ class AnticipatoryScheduler final : public IoScheduler {
     sim::Ewma seek_dist{0.3};
   };
 
-  std::multimap<std::uint64_t, Request>::iterator pick(std::uint64_t head_lba) {
-    auto it = sorted_.lower_bound(head_lba);
-    if (it == sorted_.end()) it = sorted_.begin();  // one-directional wrap
-    return it;
+  void update_stats(const Request& r, sim::Time now) {
+    CtxStats& st = stats_.find_or_insert(r.context);
+    if (st.last_completion >= 0) {
+      st.think_time.add(static_cast<double>(now - st.last_completion));
+      const std::uint64_t dist = r.lba > st.last_end ? r.lba - st.last_end
+                                                     : st.last_end - r.lba;
+      st.seek_dist.add(static_cast<double>(dist));
+    }
   }
 
   sim::Time window_, max_wait_;
-  std::multimap<std::uint64_t, Request> sorted_;
-  std::map<std::uint64_t, CtxStats> stats_;
+  SortedRunQueue sorted_;
+  ContextTable<CtxStats> stats_;
   bool anticipating_ = false;
   std::uint64_t antic_context_ = 0;
   sim::Time antic_deadline_ = 0;

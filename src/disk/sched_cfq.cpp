@@ -12,12 +12,16 @@
 //  * within a context, requests are served in ascending-sector elevator order
 //    from the current head, so a single deep pre-sorted queue (DualPar's
 //    prefetch batch) streams near-sequentially.
+//
+// Flat layout: per-context state lives in an open-addressed ContextTable
+// (was std::map) and each context's queue is a SortedRunQueue (was
+// std::multimap). sched_reference.cpp keeps the map-based original as the
+// differential oracle.
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <utility>
 
 #include "disk/scheduler.hpp"
+#include "disk/sorted_queue.hpp"
 #include "sim/stats.hpp"
 
 namespace dpar::disk {
@@ -28,7 +32,7 @@ class CfqScheduler final : public IoScheduler {
   explicit CfqScheduler(CfqParams p) : p_(p) {}
 
   void enqueue(Request r, sim::Time now) override {
-    Context& ctx = contexts_[r.context];
+    Context& ctx = contexts_.find_or_insert(r.context);
     if (ctx.queue.empty() && !ctx.in_rr) {
       rr_.push_back(r.context);
       ctx.in_rr = true;
@@ -37,7 +41,7 @@ class CfqScheduler final : public IoScheduler {
     // request from it.
     if (ctx.last_completion >= 0 && ctx.queue.empty())
       ctx.think_time.add(static_cast<double>(now - ctx.last_completion));
-    ctx.queue.emplace(r.lba, std::move(r));
+    ctx.queue.insert(std::move(r));
     ++pending_;
   }
 
@@ -45,7 +49,7 @@ class CfqScheduler final : public IoScheduler {
     if (pending_ == 0 && active_ == kNone) return Decision::idle();
 
     if (active_ != kNone) {
-      Context& ctx = contexts_[active_];
+      Context& ctx = *contexts_.find(active_);
       if (!ctx.queue.empty() && now < slice_end_) return dispatch_from(ctx, head_lba);
       if (ctx.queue.empty() && now < slice_end_ && should_idle(ctx)) {
         const sim::Time deadline = std::min(slice_end_, idle_started_ + p_.slice_idle);
@@ -56,9 +60,8 @@ class CfqScheduler final : public IoScheduler {
 
     // Pick the next context with work, round-robin.
     while (!rr_.empty()) {
-      const std::uint64_t id = rr_.front();
-      rr_.pop_front();
-      Context& ctx = contexts_[id];
+      const std::uint64_t id = rr_.pop_front();
+      Context& ctx = *contexts_.find(id);
       ctx.in_rr = false;
       if (ctx.queue.empty()) continue;
       active_ = id;
@@ -69,12 +72,12 @@ class CfqScheduler final : public IoScheduler {
   }
 
   void completed(const Request& r, sim::Time now) override {
-    auto it = contexts_.find(r.context);
-    if (it == contexts_.end()) return;
-    it->second.last_completion = now;
+    Context* ctx = contexts_.find(r.context);
+    if (ctx == nullptr) return;
+    ctx->last_completion = now;
     // The anticipation window starts when the context goes idle with slice
     // time remaining.
-    if (r.context == active_ && it->second.queue.empty()) idle_started_ = now;
+    if (r.context == active_ && ctx->queue.empty()) idle_started_ = now;
   }
 
   std::size_t pending() const override { return pending_; }
@@ -84,7 +87,7 @@ class CfqScheduler final : public IoScheduler {
   static constexpr std::uint64_t kNone = UINT64_MAX;
 
   struct Context {
-    std::multimap<std::uint64_t, Request> queue;  // sector-sorted
+    SortedRunQueue queue;  // sector-sorted
     sim::Time last_completion = -1;
     sim::Ewma think_time{0.3};
     bool in_rr = false;
@@ -99,17 +102,12 @@ class CfqScheduler final : public IoScheduler {
   Decision dispatch_from(Context& ctx, std::uint64_t head_lba) {
     // Elevator within the context: first request at or above the head,
     // else lowest (one-directional sweep with wrap).
-    auto it = ctx.queue.lower_bound(head_lba);
-    if (it == ctx.queue.end()) it = ctx.queue.begin();
-    Request r = std::move(it->second);
-    ctx.queue.erase(it);
     --pending_;
-    return Decision::dispatch(std::move(r));
+    return Decision::dispatch(ctx.queue.take(ctx.queue.pick(head_lba)));
   }
 
   void expire_active() {
-    if (active_ == kNone) return;
-    Context& ctx = contexts_[active_];
+    Context& ctx = *contexts_.find(active_);
     if (!ctx.queue.empty() && !ctx.in_rr) {
       rr_.push_back(active_);
       ctx.in_rr = true;
@@ -118,8 +116,8 @@ class CfqScheduler final : public IoScheduler {
   }
 
   CfqParams p_;
-  std::map<std::uint64_t, Context> contexts_;
-  std::deque<std::uint64_t> rr_;
+  ContextTable<Context> contexts_;
+  SlotFifo<std::uint64_t> rr_;
   std::uint64_t active_ = kNone;
   sim::Time slice_end_ = 0;
   sim::Time idle_started_ = 0;

@@ -41,6 +41,13 @@ class IoScheduler {
 
   virtual void enqueue(Request r, sim::Time now) = 0;
 
+  /// Enqueue a decomposed batch in order. Equivalent to calling enqueue() on
+  /// each request; flat implementations override to insert the whole run with
+  /// one sort/merge instead of n queue walks.
+  virtual void enqueue_batch(Request* batch, std::size_t n, sim::Time now) {
+    for (std::size_t i = 0; i < n; ++i) enqueue(std::move(batch[i]), now);
+  }
+
   /// Choose the next action. Called whenever the disk becomes free, a new
   /// request arrives while it is free, or a previously returned wait deadline
   /// expires.
@@ -77,5 +84,16 @@ std::unique_ptr<IoScheduler> make_anticipatory_scheduler(
 /// Named construction for config-driven experiments.
 enum class SchedulerKind { kNoop, kDeadline, kCscan, kCfq, kAnticipatory };
 std::unique_ptr<IoScheduler> make_scheduler(SchedulerKind kind);
+
+/// Frozen multimap-based originals (sched_reference.cpp): the differential
+/// oracles for the flat rewrites and the baseline side of the perf-smoke
+/// duty-cycle ratio. Never used on the simulation hot path.
+std::unique_ptr<IoScheduler> make_reference_noop_scheduler();
+std::unique_ptr<IoScheduler> make_reference_deadline_scheduler(
+    sim::Time read_deadline = sim::msec(500), sim::Time write_deadline = sim::secs(5));
+std::unique_ptr<IoScheduler> make_reference_cscan_scheduler();
+std::unique_ptr<IoScheduler> make_reference_cfq_scheduler(CfqParams p = {});
+std::unique_ptr<IoScheduler> make_reference_anticipatory_scheduler(
+    sim::Time antic_window = sim::msec(6), sim::Time max_wait = sim::msec(10));
 
 }  // namespace dpar::disk

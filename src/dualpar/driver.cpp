@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dualpar/crm.hpp"
+#include "sim/fanin.hpp"
 
 namespace dpar::dualpar {
 
@@ -23,7 +24,7 @@ DualParDriver::JobState& DualParDriver::state_for(mpi::Job& job) {
 }
 
 void DualParDriver::io(mpi::Process& proc, const mpi::IoCall& call,
-                       std::function<void()> done) {
+                       sim::UniqueFunction done) {
   if (env_.observer)
     env_.observer->observe(proc.job().id(), call.file, call.segments,
                            env_.fs.engine().now());
@@ -55,25 +56,22 @@ void DualParDriver::io(mpi::Process& proc, const mpi::IoCall& call,
 }
 
 void DualParDriver::serve_from_cache(mpi::Process& proc, const mpi::IoCall& call,
-                                     std::function<void()> done) {
+                                     sim::UniqueFunction done) {
   stats_.cache_hit_bytes += call.total_bytes();
   for (const auto& s : call.segments) cache_.reference(call.file, s);
-  auto pending = std::make_shared<std::size_t>(call.segments.size());
-  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
   if (call.segments.empty()) {
-    env_.fs.engine().after(0, [done_shared] { (*done_shared)(); });
+    env_.fs.engine().after(0, std::move(done));
     return;
   }
+  auto* fan = sim::make_fanin(call.segments.size(), std::move(done));
   for (const auto& s : call.segments) {
     cache_.transfer(call.file, s, proc.node().id(), /*to_cache=*/false,
-                    [pending, done_shared] {
-                      if (--*pending == 0) (*done_shared)();
-                    });
+                    [fan] { fan->complete(); });
   }
 }
 
 void DualParDriver::read_path(mpi::Process& proc, const mpi::IoCall& call,
-                              std::function<void()> done) {
+                              sim::UniqueFunction done) {
   bool covered = !call.segments.empty();
   for (const auto& s : call.segments) covered = covered && cache_.covers(call.file, s);
   if (covered) {
@@ -101,7 +99,7 @@ void DualParDriver::read_path(mpi::Process& proc, const mpi::IoCall& call,
 }
 
 void DualParDriver::write_path(mpi::Process& proc, const mpi::IoCall& call,
-                               std::function<void()> done) {
+                               sim::UniqueFunction done) {
   mpi::Job& job = proc.job();
   JobState& st = state_for(job);
   st.files_written.insert(call.file);
@@ -119,29 +117,27 @@ void DualParDriver::write_path(mpi::Process& proc, const mpi::IoCall& call,
   }
   st.dirty_bytes[proc.global_id()] += bytes;
 
-  auto pending = std::make_shared<std::size_t>(std::max<std::size_t>(
-      call.segments.size(), 1));
-  auto after_puts = [this, &proc, &job, done = std::move(done)]() mutable {
-    JobState& jst = state_for(job);
-    if (jst.dirty_bytes[proc.global_id()] >= params_.cache_quota) {
-      // Cache full for this process: hold it until the write-back cycle.
-      proc.set_suspended(true);
-      jst.pending.push_back(Pending{&proc, {}, std::move(done), /*write_hold=*/true});
-      maybe_start_cycle(job);
-    } else {
-      done();
-    }
-  };
-  auto after_shared = std::make_shared<decltype(after_puts)>(std::move(after_puts));
+  auto* fan = sim::make_fanin(
+      std::max<std::size_t>(call.segments.size(), 1),
+      [this, &proc, &job, done = std::move(done)]() mutable {
+        JobState& jst = state_for(job);
+        if (jst.dirty_bytes[proc.global_id()] >= params_.cache_quota) {
+          // Cache full for this process: hold it until the write-back cycle.
+          proc.set_suspended(true);
+          jst.pending.push_back(
+              Pending{&proc, {}, std::move(done), /*write_hold=*/true});
+          maybe_start_cycle(job);
+        } else {
+          done();
+        }
+      });
   if (call.segments.empty()) {
-    env_.fs.engine().after(0, [after_shared] { (*after_shared)(); });
+    env_.fs.engine().after(0, [fan] { fan->complete(); });
     return;
   }
   for (const auto& s : call.segments) {
     cache_.transfer(call.file, s, proc.node().id(), /*to_cache=*/true,
-                    [pending, after_shared] {
-                      if (--*pending == 0) (*after_shared)();
-                    });
+                    [fan] { fan->complete(); });
   }
 }
 
@@ -241,7 +237,7 @@ void issue_batch(mpiio::IoEnv& env, cache::GlobalCache& cache, pfs::FileId file,
                  const std::vector<pfs::Segment>& segments, bool is_write,
                  std::uint64_t context,
                  const std::map<std::uint64_t, net::NodeId>* intended_homes,
-                 std::function<void()> done) {
+                 sim::UniqueFunction done) {
   std::map<net::NodeId, std::vector<pfs::Segment>> per_home;
   const std::uint64_t chunk = cache.params().chunk_bytes;
   for (const auto& seg : segments) {
@@ -269,19 +265,16 @@ void issue_batch(mpiio::IoEnv& env, cache::GlobalCache& cache, pfs::FileId file,
     env.fs.engine().after(0, std::move(done));
     return;
   }
-  auto pending = std::make_shared<std::size_t>(per_home.size());
-  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  auto* fan = sim::make_fanin(per_home.size(), std::move(done));
   for (auto& [home, list] : per_home) {
     env.clients.for_node(home).io(file, list, is_write, context,
-                                  [pending, done_shared](std::uint64_t) {
-                                    if (--*pending == 0) (*done_shared)();
-                                  });
+                                  [fan](std::uint64_t) { fan->complete(); });
   }
 }
 
 }  // namespace
 
-void DualParDriver::run_writeback(mpi::Job& job, std::function<void()> next) {
+void DualParDriver::run_writeback(mpi::Job& job, sim::UniqueFunction next) {
   JobState& st = state_for(job);
   BatchOptions opt{params_.sort_batch, params_.merge_batch,
                    params_.fill_holes ? params_.hole_fill_max : 0};
@@ -305,15 +298,14 @@ void DualParDriver::run_writeback(mpi::Job& job, std::function<void()> next) {
   // Phase A: hole reads across all files; phase B: the merged writes.
   auto do_writes = [this, plans, next = std::move(next), &job]() mutable {
     JobState& jst = state_for(job);
-    auto pending = std::make_shared<std::size_t>(plans->size());
-    auto next_shared = std::make_shared<std::function<void()>>(std::move(next));
+    auto* fan = sim::make_fanin(plans->size(), std::move(next));
     for (const auto& fp : *plans) {
       for (const auto& w : fp.plan.writes) stats_.writeback_bytes += w.length;
       issue_batch(env_, cache_, fp.file, fp.plan.writes, /*is_write=*/true,
-                  jst.crm_context, nullptr, [this, fp, pending, next_shared] {
+                  jst.crm_context, nullptr, [this, fp, fan] {
                     for (const auto& w : fp.plan.writes)
                       cache_.clear_dirty(fp.file, w);
-                    if (--*pending == 0) (*next_shared)();
+                    fan->complete();
                   });
     }
   };
@@ -325,19 +317,16 @@ void DualParDriver::run_writeback(mpi::Job& job, std::function<void()> next) {
     do_writes();
     return;
   }
-  auto hole_pending = std::make_shared<std::size_t>(hole_files);
-  auto writes_shared = std::make_shared<decltype(do_writes)>(std::move(do_writes));
+  auto* hole_fan = sim::make_fanin(hole_files, std::move(do_writes));
   for (const auto& fp : *plans) {
     if (fp.plan.hole_reads.empty()) continue;
     stats_.hole_read_bytes += fp.plan.hole_bytes;
     issue_batch(env_, cache_, fp.file, fp.plan.hole_reads, /*is_write=*/false,
-                st.crm_context, nullptr, [hole_pending, writes_shared] {
-                  if (--*hole_pending == 0) (*writes_shared)();
-                });
+                st.crm_context, nullptr, [hole_fan] { hole_fan->complete(); });
   }
 }
 
-void DualParDriver::run_prefetch(mpi::Job& job, std::function<void()> next) {
+void DualParDriver::run_prefetch(mpi::Job& job, sim::UniqueFunction next) {
   JobState& st = state_for(job);
   // Union of all ghosts' predicted reads, grouped by file, plus the intended
   // cache placement of each touched chunk: the node of the process that will
@@ -368,8 +357,7 @@ void DualParDriver::run_prefetch(mpi::Job& job, std::function<void()> next) {
 
   BatchOptions opt{params_.sort_batch, params_.merge_batch,
                    params_.fill_holes ? params_.hole_fill_max : 0};
-  auto pending = std::make_shared<std::size_t>(raw.size());
-  auto next_shared = std::make_shared<std::function<void()>>(std::move(next));
+  auto next_shared = std::make_shared<sim::UniqueFunction>(std::move(next));
   auto batches =
       std::make_shared<std::vector<std::pair<pfs::FileId, std::vector<pfs::Segment>>>>();
   auto on_all_done = [this, &job, next_shared, batches, homes] {
@@ -398,6 +386,7 @@ void DualParDriver::run_prefetch(mpi::Job& job, std::function<void()> next) {
       for (const auto& s : batch) cache_.insert(f, s, jst.crm_context, false);
     (*next_shared)();
   };
+  auto* fan = sim::make_fanin(raw.size(), std::move(on_all_done));
 
   for (auto& [file, segs] : raw) {
     auto batch = build_read_batch(std::move(segs), opt);
@@ -408,9 +397,7 @@ void DualParDriver::run_prefetch(mpi::Job& job, std::function<void()> next) {
     batches->emplace_back(f, std::move(batch));
     const auto* file_homes = homes->count(f) ? &(*homes)[f] : nullptr;
     issue_batch(env_, cache_, f, batches->back().second, /*is_write=*/false,
-                st.crm_context, file_homes, [pending, on_all_done] {
-                  if (--*pending == 0) on_all_done();
-                });
+                st.crm_context, file_homes, [fan] { fan->complete(); });
   }
 }
 

@@ -48,7 +48,7 @@ class DualParDriver : public mpiio::VanillaDriver {
   DualParDriver(mpiio::IoEnv env, cache::GlobalCache& cache, Emc& emc, Params params);
 
   void io(mpi::Process& proc, const mpi::IoCall& call,
-          std::function<void()> done) override;
+          sim::UniqueFunction done) override;
   void on_barrier_enter(mpi::Process& proc) override;
   void on_process_end(mpi::Process& proc) override;
 
@@ -59,7 +59,7 @@ class DualParDriver : public mpiio::VanillaDriver {
   struct Pending {
     mpi::Process* proc;
     mpi::IoCall call;
-    std::function<void()> done;
+    sim::UniqueFunction done;
     bool write_hold = false;  ///< held on write quota rather than a read miss
   };
 
@@ -78,15 +78,15 @@ class DualParDriver : public mpiio::VanillaDriver {
   };
 
   JobState& state_for(mpi::Job& job);
-  void read_path(mpi::Process& proc, const mpi::IoCall& call, std::function<void()> done);
-  void write_path(mpi::Process& proc, const mpi::IoCall& call, std::function<void()> done);
+  void read_path(mpi::Process& proc, const mpi::IoCall& call, sim::UniqueFunction done);
+  void write_path(mpi::Process& proc, const mpi::IoCall& call, sim::UniqueFunction done);
   void serve_from_cache(mpi::Process& proc, const mpi::IoCall& call,
-                        std::function<void()> done);
+                        sim::UniqueFunction done);
   void arm_deadline(mpi::Job& job, mpi::Process& proc);
   void maybe_start_cycle(mpi::Job& job);
   void start_cycle(mpi::Job& job);
-  void run_writeback(mpi::Job& job, std::function<void()> next);
-  void run_prefetch(mpi::Job& job, std::function<void()> next);
+  void run_writeback(mpi::Job& job, sim::UniqueFunction next);
+  void run_prefetch(mpi::Job& job, sim::UniqueFunction next);
   void resume_all(mpi::Job& job);
   void final_flush(mpi::Job& job);
 

@@ -6,7 +6,7 @@
 namespace dpar::dualpar {
 
 GhostRunner::GhostRunner(sim::Engine& eng, mpi::Process& proc, std::uint64_t quota,
-                         std::function<void()> on_pause)
+                         sim::UniqueFunction on_pause)
     : eng_(eng),
       node_(proc.node()),
       owner_(proc.global_id()),

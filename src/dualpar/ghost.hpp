@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,7 +23,7 @@ class GhostRunner {
  public:
   /// `on_pause` fires exactly once, when the ghost stops recording.
   GhostRunner(sim::Engine& eng, mpi::Process& proc, std::uint64_t quota,
-              std::function<void()> on_pause);
+              sim::UniqueFunction on_pause);
 
   /// Begin pre-execution; `missed_call` (the read the process blocked on) is
   /// recorded first, then the cloned program continues from there.
@@ -55,7 +54,7 @@ class GhostRunner {
   cluster::ComputeNode& node_;
   std::uint32_t owner_;
   std::uint64_t quota_;
-  std::function<void()> on_pause_;
+  sim::UniqueFunction on_pause_;
   std::unique_ptr<mpi::Program> prog_;
   mpi::ProgramContext ctx_;
   std::vector<mpi::IoCall> predicted_;

@@ -3,6 +3,8 @@
 #include <utility>
 #include <variant>
 
+#include "sim/fanin.hpp"
+
 namespace dpar::dualpar {
 
 PreexecDriver::PState& PreexecDriver::state_for(mpi::Process& proc,
@@ -38,7 +40,7 @@ bool PreexecDriver::covered_by_inflight(PState& st, const mpi::IoCall& call) con
 }
 
 void PreexecDriver::io(mpi::Process& proc, const mpi::IoCall& call,
-                       std::function<void()> done) {
+                       sim::UniqueFunction done) {
   if (env_.observer)
     env_.observer->observe(proc.job().id(), call.file, call.segments,
                            env_.fs.engine().now());
@@ -66,17 +68,14 @@ void PreexecDriver::io(mpi::Process& proc, const mpi::IoCall& call,
 }
 
 void PreexecDriver::serve_hit(mpi::Process& proc, PState& st, const mpi::IoCall& call,
-                              std::function<void()> done) {
+                              sim::UniqueFunction done) {
   const std::uint64_t bytes = call.total_bytes();
   st.window -= std::min(st.window, bytes);  // consumed: window space freed
   for (const auto& s : call.segments) cache_.reference(call.file, s);
-  auto pending = std::make_shared<std::size_t>(call.segments.size());
-  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  auto* fan = sim::make_fanin(call.segments.size(), std::move(done));
   for (const auto& s : call.segments) {
     cache_.transfer(call.file, s, proc.node().id(), /*to_cache=*/false,
-                    [pending, done_shared] {
-                      if (--*pending == 0) (*done_shared)();
-                    });
+                    [fan] { fan->complete(); });
   }
   pump(proc, st);
 }

@@ -5,6 +5,13 @@
 #include <map>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define DPAR_PERF_HAVE_FLOCK 1
+#endif
+
 namespace dpar::metrics {
 namespace {
 
@@ -86,24 +93,78 @@ std::map<std::string, std::string> read_sections(const std::string& path) {
   return sections;
 }
 
+/// Serializes concurrent writers of one report file via flock(2) on a
+/// sidecar `<path>.lock`. Best-effort: when the lock cannot be taken (or the
+/// platform has no flock) the atomic rename below still prevents torn files —
+/// concurrent merges may then lose a section, the pre-lock behaviour.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+#ifdef DPAR_PERF_HAVE_FLOCK
+    fd_ = ::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+#else
+    (void)path;
+#endif
+  }
+  ~FileLock() {
+#ifdef DPAR_PERF_HAVE_FLOCK
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+#endif
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+std::string tmp_path_for(const std::string& path) {
+#ifdef DPAR_PERF_HAVE_FLOCK
+  return path + ".tmp." + std::to_string(::getpid());
+#else
+  return path + ".tmp";
+#endif
+}
+
 }  // namespace
 
 bool write_bench_perf_json(const std::string& path, const std::string& bench_name,
                            const std::vector<PerfEntry>& entries,
                            double suite_wall_s, unsigned jobs) {
+  // Read-merge-write under an exclusive lock, publishing via atomic rename:
+  // concurrent DPAR_JOBS runs of different benches each keep the other's
+  // sections, and a crashed writer can at worst leave a stale .tmp behind,
+  // never a truncated report.
+  FileLock lock(path);
   std::map<std::string, std::string> sections = read_sections(path);
   sections[bench_name] = render_section(entries, suite_wall_s, jobs);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << "{\n" << kSchemaLine << "\n  \"benches\": {\n";
-  std::size_t i = 0;
-  for (const auto& [name, payload] : sections) {
-    out << "    \"" << name << "\": " << payload;
-    if (++i < sections.size()) out << ",";
-    out << "\n";
+  const std::string tmp = tmp_path_for(path);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << "{\n" << kSchemaLine << "\n  \"benches\": {\n";
+    std::size_t i = 0;
+    for (const auto& [name, payload] : sections) {
+      out << "    \"" << name << "\": " << payload;
+      if (++i < sections.size()) out << ",";
+      out << "\n";
+    }
+    out << "  }\n}\n";
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  out << "  }\n}\n";
-  return out.good();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dpar::metrics

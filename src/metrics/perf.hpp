@@ -36,7 +36,10 @@ struct PerfEntry {
 /// Merge `bench_name`'s section into the perf JSON at `path`, preserving the
 /// sections other bench binaries wrote. The file keeps one line per bench
 /// (see perf.cpp for the exact shape), so the merge is a line-level
-/// read-modify-write and never needs a general JSON parser.
+/// read-modify-write and never needs a general JSON parser. The merge runs
+/// under an exclusive flock on `<path>.lock` and publishes via write-to-temp
+/// + atomic rename, so concurrent bench processes neither clobber each
+/// other's sections nor expose a torn file.
 /// `suite_wall_s` is start-to-finish wall time; `jobs` the thread count.
 /// Returns false on I/O failure.
 bool write_bench_perf_json(const std::string& path, const std::string& bench_name,

@@ -156,7 +156,7 @@ std::uint64_t Job::total_bytes() const {
   return b;
 }
 
-void Job::barrier_enter(Process& proc, std::function<void()> resume,
+void Job::barrier_enter(Process& proc, sim::UniqueFunction resume,
                         std::uint64_t payload_bytes) {
   (void)proc;
   barrier_waiters_.push_back(std::move(resume));
@@ -195,7 +195,7 @@ bool Job::all_parked() const {
 }
 
 void Job::comm_transfer(std::uint32_t src_rank, std::uint32_t dst_rank,
-                        std::uint64_t bytes, std::function<void()> done) {
+                        std::uint64_t bytes, sim::UniqueFunction done) {
   if (net_ != nullptr) {
     net_->send(procs_[src_rank]->node().id(), procs_[dst_rank]->node().id(), bytes,
                std::move(done));
@@ -206,7 +206,7 @@ void Job::comm_transfer(std::uint32_t src_rank, std::uint32_t dst_rank,
 }
 
 void Job::comm_send(Process& proc, std::uint32_t dest, std::uint64_t bytes, int tag,
-                    std::function<void()> resume) {
+                    sim::UniqueFunction resume) {
   if (dest >= nprocs()) throw std::invalid_argument("comm_send: bad destination rank");
   const CommKey key{proc.rank(), dest, tag};
   auto rit = pending_recvs_.find(key);
@@ -215,7 +215,7 @@ void Job::comm_send(Process& proc, std::uint32_t dest, std::uint64_t bytes, int 
     rit->second.pop_front();
     comm_transfer(proc.rank(), dest, bytes,
                   [send_resume = std::move(resume),
-                   recv_resume = std::move(recv_resume)] {
+                   recv_resume = std::move(recv_resume)]() mutable {
                     send_resume();
                     recv_resume();
                   });
@@ -225,7 +225,7 @@ void Job::comm_send(Process& proc, std::uint32_t dest, std::uint64_t bytes, int 
 }
 
 void Job::comm_recv(Process& proc, std::uint32_t src, int tag,
-                    std::function<void()> resume) {
+                    sim::UniqueFunction resume) {
   if (src >= nprocs()) throw std::invalid_argument("comm_recv: bad source rank");
   const CommKey key{src, proc.rank(), tag};
   auto sit = pending_sends_.find(key);
@@ -234,7 +234,7 @@ void Job::comm_recv(Process& proc, std::uint32_t src, int tag,
     sit->second.pop_front();
     comm_transfer(src, proc.rank(), send.bytes,
                   [send_resume = std::move(send.resume),
-                   recv_resume = std::move(resume)] {
+                   recv_resume = std::move(resume)]() mutable {
                     send_resume();
                     recv_resume();
                   });

@@ -15,6 +15,7 @@
 #include "mpi/program.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/func.hpp"
 
 namespace dpar::mpi {
 
@@ -29,7 +30,7 @@ class IoDriver {
   virtual ~IoDriver() = default;
 
   /// Serve one I/O call of `proc`; `done` resumes the process.
-  virtual void io(Process& proc, const IoCall& call, std::function<void()> done) = 0;
+  virtual void io(Process& proc, const IoCall& call, sim::UniqueFunction done) = 0;
 
   /// Notifications the DualPar cycle coordinator relies on.
   virtual void on_barrier_enter(Process&) {}
@@ -143,15 +144,15 @@ class Job {
   /// Barrier entry from `proc`; `resume` fires when all live ranks arrived.
   /// `payload_bytes` > 0 models a synchronizing collective (allreduce):
   /// every rank additionally pays ~2 log2(P) payload exchanges.
-  void barrier_enter(Process& proc, std::function<void()> resume,
+  void barrier_enter(Process& proc, sim::UniqueFunction resume,
                      std::uint64_t payload_bytes = 0);
 
   /// Rendezvous point-to-point matching: both sides resume once the payload
   /// has crossed the network.
   void comm_send(Process& proc, std::uint32_t dest, std::uint64_t bytes, int tag,
-                 std::function<void()> resume);
+                 sim::UniqueFunction resume);
   void comm_recv(Process& proc, std::uint32_t src, int tag,
-                 std::function<void()> resume);
+                 sim::UniqueFunction resume);
 
   /// Count of processes in any of the given parked states; the DualPar cycle
   /// coordinator triggers when parked == nprocs.
@@ -164,7 +165,7 @@ class Job {
   void release_barrier_if_ready();
 
   void comm_transfer(std::uint32_t src_rank, std::uint32_t dst_rank,
-                     std::uint64_t bytes, std::function<void()> done);
+                     std::uint64_t bytes, sim::UniqueFunction done);
 
   sim::Engine& eng_;
   std::uint32_t id_;
@@ -178,7 +179,7 @@ class Job {
   std::function<void()> on_complete_;
 
   // Barrier state for the current epoch.
-  std::vector<std::function<void()>> barrier_waiters_;
+  std::vector<sim::UniqueFunction> barrier_waiters_;
   std::uint64_t barrier_payload_ = 0;
 
   sim::Histogram read_latency_;
@@ -192,10 +193,10 @@ class Job {
   };
   struct PendingSend {
     std::uint64_t bytes;
-    std::function<void()> resume;
+    sim::UniqueFunction resume;
   };
   std::map<CommKey, std::deque<PendingSend>> pending_sends_;
-  std::map<CommKey, std::deque<std::function<void()>>> pending_recvs_;
+  std::map<CommKey, std::deque<sim::UniqueFunction>> pending_recvs_;
 };
 
 }  // namespace dpar::mpi

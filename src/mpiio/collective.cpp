@@ -27,7 +27,7 @@ std::vector<pfs::Segment> sort_and_merge(std::vector<pfs::Segment> segs) {
 }  // namespace
 
 void CollectiveDriver::io(mpi::Process& proc, const mpi::IoCall& call,
-                          std::function<void()> done) {
+                          sim::UniqueFunction done) {
   if (!call.collective) {
     VanillaDriver::io(proc, call, std::move(done));
     return;

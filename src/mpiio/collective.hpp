@@ -45,7 +45,7 @@ class CollectiveDriver : public VanillaDriver {
       : VanillaDriver(env), params_(params) {}
 
   void io(mpi::Process& proc, const mpi::IoCall& call,
-          std::function<void()> done) override;
+          sim::UniqueFunction done) override;
   void on_process_end(mpi::Process& proc) override;
 
   std::string name() const override { return "collective-io"; }
@@ -57,7 +57,7 @@ class CollectiveDriver : public VanillaDriver {
   struct Entry {
     mpi::Process* proc;
     mpi::IoCall call;
-    std::function<void()> done;
+    sim::UniqueFunction done;
   };
   struct Epoch {
     std::vector<Entry> entries;

@@ -1,12 +1,22 @@
 #include "mpiio/vanilla.hpp"
 
-#include <memory>
+#include <cstddef>
 #include <utility>
 
 namespace dpar::mpiio {
 
+/// State of one piecewise strided call: the call is walked segment by
+/// segment, each round trip capturing just this block's pointer.
+struct PieceWalk {
+  VanillaDriver* drv;
+  mpi::Process* proc;
+  mpi::IoCall call;
+  std::size_t index;
+  sim::UniqueFunction done;
+};
+
 void VanillaDriver::io(mpi::Process& proc, const mpi::IoCall& call,
-                       std::function<void()> done) {
+                       sim::UniqueFunction done) {
   if (env_.observer)
     env_.observer->observe(proc.job().id(), call.file, call.segments,
                            env_.fs.engine().now());
@@ -14,26 +24,28 @@ void VanillaDriver::io(mpi::Process& proc, const mpi::IoCall& call,
 }
 
 void VanillaDriver::raw_io(mpi::Process& proc, const mpi::IoCall& call,
-                           std::function<void()> done) {
+                           sim::UniqueFunction done) {
   if (piecewise_strided_ && call.segments.size() > 1) {
-    issue_piece(proc, std::make_shared<mpi::IoCall>(call), 0, std::move(done));
+    issue_piece(new PieceWalk{this, &proc, call, 0, std::move(done)});
     return;
   }
   pfs::Client& client = env_.clients.for_node(proc.node().id());
   client.io(call.file, call.segments, call.is_write, proc.global_id(),
-            [done = std::move(done)](std::uint64_t) { done(); });
+            [done = std::move(done)](std::uint64_t) mutable { done(); });
 }
 
-void VanillaDriver::issue_piece(mpi::Process& proc, std::shared_ptr<mpi::IoCall> call,
-                                std::size_t index, std::function<void()> done) {
-  if (index >= call->segments.size()) {
+void VanillaDriver::issue_piece(PieceWalk* w) {
+  if (w->index >= w->call.segments.size()) {
+    sim::UniqueFunction done = std::move(w->done);
+    delete w;
     done();
     return;
   }
-  pfs::Client& client = env_.clients.for_node(proc.node().id());
-  client.io(call->file, {call->segments[index]}, call->is_write, proc.global_id(),
-            [this, &proc, call, index, done = std::move(done)](std::uint64_t) mutable {
-              issue_piece(proc, call, index + 1, std::move(done));
+  pfs::Client& client = env_.clients.for_node(w->proc->node().id());
+  client.io(w->call.file, {w->call.segments[w->index]}, w->call.is_write,
+            w->proc->global_id(), [w](std::uint64_t) {
+              ++w->index;
+              w->drv->issue_piece(w);
             });
 }
 

@@ -9,12 +9,14 @@
 
 namespace dpar::mpiio {
 
+struct PieceWalk;
+
 class VanillaDriver : public mpi::IoDriver {
  public:
   explicit VanillaDriver(IoEnv env) : env_(env) {}
 
   void io(mpi::Process& proc, const mpi::IoCall& call,
-          std::function<void()> done) override;
+          sim::UniqueFunction done) override;
 
   std::string name() const override { return "vanilla-mpiio"; }
 
@@ -28,13 +30,15 @@ class VanillaDriver : public mpi::IoDriver {
   /// Same request path as io() but without the ADIO observation hook — for
   /// wrappers (DualPar) that already observed the application call and only
   /// delegate the transfer.
-  void raw_io(mpi::Process& proc, const mpi::IoCall& call, std::function<void()> done);
+  void raw_io(mpi::Process& proc, const mpi::IoCall& call,
+              sim::UniqueFunction done);
 
   IoEnv env_;
 
  private:
-  void issue_piece(mpi::Process& proc, std::shared_ptr<mpi::IoCall> call,
-                   std::size_t index, std::function<void()> done);
+  /// Issue the next contiguous piece of `w` (one heap control block per
+  /// strided call; per-piece callbacks capture only the block pointer).
+  void issue_piece(PieceWalk* w);
 
   bool piecewise_strided_ = true;
 };

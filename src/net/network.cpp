@@ -16,8 +16,24 @@ Network::Network(sim::Engine& eng, std::uint32_t num_nodes, NetParams params)
   }
 }
 
+namespace {
+
+/// In-flight remote message. A UniqueFunction is too big to re-capture at
+/// each stage (tx -> switch hop -> rx) without spilling past the inline
+/// buffers, so the callback and routing state live in one heap record and
+/// every stage's lambda captures a single pointer.
+struct Transit {
+  Network* net;
+  NodeId to;
+  std::uint64_t wire_bytes;
+  sim::Time hop;
+  sim::UniqueFunction cb;
+};
+
+}  // namespace
+
 void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
-                   std::function<void()> delivered) {
+                   sim::UniqueFunction delivered) {
   if (from >= nics_.size() || to >= nics_.size())
     throw std::out_of_range("Network::send: bad node id");
   ++messages_;
@@ -36,11 +52,15 @@ void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
            ? static_cast<sim::Time>(jitter_rng_.uniform(
                  static_cast<std::uint64_t>(params_.latency_jitter)))
            : 0);
-  nics_[from].tx->submit(tx_time, [this, to, wire_bytes, hop, cb = std::move(delivered)]() mutable {
-    eng_.after(hop, [this, to, wire_bytes, cb = std::move(cb)]() mutable {
-      const sim::Time rx_time =
-          sim::transfer_time(wire_bytes, params_.bandwidth_bytes_per_s);
-      nics_[to].rx->submit(rx_time, std::move(cb));
+  auto* t = new Transit{this, to, wire_bytes, hop, std::move(delivered)};
+  nics_[from].tx->submit(tx_time, [t] {
+    t->net->eng_.after(t->hop, [t] {
+      const sim::Time rx_time = sim::transfer_time(
+          t->wire_bytes, t->net->params_.bandwidth_bytes_per_s);
+      sim::FifoResource& rx = *t->net->nics_[t->to].rx;
+      sim::UniqueFunction cb = std::move(t->cb);
+      delete t;
+      rx.submit(rx_time, std::move(cb));
     });
   });
 }

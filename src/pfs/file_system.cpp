@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fanin.hpp"
+
 namespace dpar::pfs {
 
 FileSystem::FileSystem(sim::Engine& eng, net::Network& net, net::NodeId metadata_node,
@@ -28,7 +30,7 @@ FileId FileSystem::create(const std::string& name, std::uint64_t size) {
   return id;
 }
 
-void Client::open(FileId file, std::function<void()> done) {
+void Client::open(FileId file, sim::UniqueFunction done) {
   (void)file;
   // Request to the metadata server and reply, both small messages.
   auto& net = fs_.network();
@@ -39,7 +41,7 @@ void Client::open(FileId file, std::function<void()> done) {
 }
 
 void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write,
-                std::uint64_t context, std::function<void(std::uint64_t)> done) {
+                std::uint64_t context, sim::UniqueFn<void(std::uint64_t)> done) {
   ++calls_;
   std::vector<std::vector<ServerRun>> per_server(fs_.num_servers());
   std::uint64_t total_bytes = 0;
@@ -53,12 +55,14 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
   for (const auto& runs : per_server)
     if (!runs.empty()) ++involved;
   if (involved == 0) {
-    fs_.engine().after(0, [done = std::move(done)] { done(0); });
+    fs_.engine().after(0, [done = std::move(done)]() mutable { done(0); });
     return;
   }
 
-  auto outstanding = std::make_shared<std::uint32_t>(involved);
-  auto done_shared = std::make_shared<std::function<void(std::uint64_t)>>(std::move(done));
+  auto* fan = sim::make_fanin(
+      involved, [done = std::move(done), total_bytes]() mutable {
+        done(total_bytes);
+      });
   for (std::uint32_t s = 0; s < fs_.num_servers(); ++s) {
     if (per_server[s].empty()) continue;
     DataServer& srv = fs_.server(s);
@@ -80,11 +84,8 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
     auto& net = fs_.network();
     const net::NodeId srv_node = srv.node();
     const net::NodeId client_node = node_;
-    req.done = [&net, srv_node, client_node, reply_msg, outstanding, done_shared,
-                total_bytes] {
-      net.send(srv_node, client_node, reply_msg, [outstanding, done_shared, total_bytes] {
-        if (--*outstanding == 0) (*done_shared)(total_bytes);
-      });
+    req.done = [&net, srv_node, client_node, reply_msg, fan] {
+      net.send(srv_node, client_node, reply_msg, [fan] { fan->complete(); });
     };
     net.send(client_node, srv_node, req_msg,
              [&srv, req = std::move(req)]() mutable { srv.handle(std::move(req)); });

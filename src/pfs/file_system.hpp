@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "pfs/layout.hpp"
 #include "pfs/server.hpp"
 #include "sim/engine.hpp"
+#include "sim/func.hpp"
 
 namespace dpar::pfs {
 
@@ -55,14 +55,14 @@ class Client {
   Client(FileSystem& fs, net::NodeId node) : fs_(fs), node_(node) {}
 
   /// Metadata round trip (open/stat).
-  void open(FileId file, std::function<void()> done);
+  void open(FileId file, sim::UniqueFunction done);
 
   /// List I/O: read or write `segments` of `file`. Segments are decomposed
   /// into per-server runs (order-preserving, contiguity-coalescing) and one
   /// request message goes to each involved server. `done(bytes)` fires when
   /// every server has replied.
   void io(FileId file, const std::vector<Segment>& segments, bool is_write,
-          std::uint64_t context, std::function<void(std::uint64_t)> done);
+          std::uint64_t context, sim::UniqueFn<void(std::uint64_t)> done);
 
   net::NodeId node() const { return node_; }
   std::uint64_t calls() const { return calls_; }

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "net/network.hpp"
 #include "pfs/layout.hpp"
 #include "pfs/server_cache.hpp"
+#include "sim/func.hpp"
 #include "sim/resource.hpp"
 
 namespace dpar::pfs {
@@ -23,7 +23,7 @@ struct ServerIoRequest {
   bool is_write = false;
   std::uint64_t context = 0;  ///< I/O context for the disk scheduler
   std::vector<ServerRun> runs;
-  std::function<void()> done;  ///< invoked at the server when disk I/O completes
+  sim::UniqueFunction done;  ///< invoked at the server when disk I/O completes
 
   std::uint64_t total_bytes() const {
     std::uint64_t sum = 0;

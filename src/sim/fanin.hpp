@@ -1,0 +1,60 @@
+// Intrusive fan-in completion counter.
+//
+// The drivers and PFS layers constantly split one logical operation into N
+// sub-operations (stripes, RAID members, per-server messages) and fire a
+// continuation when the last one lands. The historical idiom was
+//
+//   auto outstanding = std::make_shared<std::size_t>(n);
+//   auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+//   ... [outstanding, done_shared] { if (--*outstanding == 0) (*done_shared)(); }
+//
+// — two heap allocations plus two control-block refcounts per branch, and a
+// 32-byte capture that pushes every branch callback past std::function's
+// inline buffer. A FanIn is one allocation holding the counter and the moved-in
+// continuation; branches capture a single raw pointer. The last `complete()`
+// moves the continuation out, deletes the block, then invokes — so the
+// continuation may itself allocate, re-enter, or destroy the surrounding
+// object without touching freed memory.
+//
+// Ownership: `make_fanin(n, f)` with n >= 1 returns a pointer that must
+// receive exactly n `complete()` calls; the block deletes itself on the last
+// one. With n == 0 the continuation runs inline and nullptr is returned.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace dpar::sim {
+
+template <class F>
+class FanInT {
+ public:
+  FanInT(std::size_t n, F f) : remaining_(n), done_(std::move(f)) {}
+
+  /// Signal one branch finished. Frees the block and runs the continuation
+  /// when the count hits zero.
+  void complete() {
+    if (--remaining_ == 0) {
+      F d = std::move(done_);
+      delete this;
+      d();
+    }
+  }
+
+ private:
+  std::size_t remaining_;
+  F done_;
+};
+
+/// Heap-allocate a fan-in of `n` branches completing into `f`.
+/// n == 0 runs `f` immediately and returns nullptr.
+template <class F>
+FanInT<F>* make_fanin(std::size_t n, F f) {
+  if (n == 0) {
+    f();
+    return nullptr;
+  }
+  return new FanInT<F>(n, std::move(f));
+}
+
+}  // namespace dpar::sim

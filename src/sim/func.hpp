@@ -1,4 +1,4 @@
-// Move-only `void()` callable with a small-buffer optimisation.
+// Move-only callable with a small-buffer optimisation.
 //
 // The event engine schedules millions of callbacks per simulated run and the
 // common capture set is a handful of pointers (driver, request, process).
@@ -6,6 +6,14 @@
 // keeps captures up to kInlineSize bytes in place, so the schedule/fire hot
 // path never touches the allocator. Larger callables still work — they fall
 // back to a single heap cell.
+//
+// `UniqueFn<R(Args...)>` is the general form; `UniqueFunction` is the
+// `void()` instantiation the engine and most completion callbacks use.
+//
+// Beware of nesting: a UniqueFunction is 72 bytes, so a lambda that captures
+// one by value exceeds the 48-byte inline buffer and spills. Hot-path code
+// passes raw pointers to stable control blocks (see sim/fanin.hpp) or stores
+// the continuation in a member instead of re-capturing it.
 #pragma once
 
 #include <cstddef>
@@ -15,43 +23,51 @@
 
 namespace dpar::sim {
 
-class UniqueFunction {
+template <class Sig>
+class UniqueFn;
+
+template <class R, class... Args>
+class UniqueFn<R(Args...)> {
  public:
   /// Sized for the engine's common case: lambdas capturing up to six
   /// pointer-sized values stay inline.
   static constexpr std::size_t kInlineSize = 48;
 
-  UniqueFunction() noexcept = default;
+  UniqueFn() noexcept = default;
 
   template <class F>
-    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
-             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
-  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueFn> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  UniqueFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::remove_cvref_t<F>;
     if constexpr (sizeof(Fn) <= kInlineSize &&
                   alignof(Fn) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<Fn>) {
       ::new (static_cast<void*>(storage_.buf)) Fn(std::forward<F>(f));
-      invoke_ = [](UniqueFunction& self) { (*self.inline_ptr<Fn>())(); };
-      relocate_ = [](UniqueFunction& dst, UniqueFunction& src) {
+      invoke_ = [](UniqueFn& self, Args... args) -> R {
+        return (*self.inline_ptr<Fn>())(std::forward<Args>(args)...);
+      };
+      relocate_ = [](UniqueFn& dst, UniqueFn& src) {
         ::new (static_cast<void*>(dst.storage_.buf))
             Fn(std::move(*src.inline_ptr<Fn>()));
         src.inline_ptr<Fn>()->~Fn();
       };
-      destroy_ = [](UniqueFunction& self) { self.inline_ptr<Fn>()->~Fn(); };
+      destroy_ = [](UniqueFn& self) { self.inline_ptr<Fn>()->~Fn(); };
     } else {
       storage_.ptr = new Fn(std::forward<F>(f));
-      invoke_ = [](UniqueFunction& self) { (*self.heap_ptr<Fn>())(); };
-      relocate_ = [](UniqueFunction& dst, UniqueFunction& src) {
+      invoke_ = [](UniqueFn& self, Args... args) -> R {
+        return (*self.heap_ptr<Fn>())(std::forward<Args>(args)...);
+      };
+      relocate_ = [](UniqueFn& dst, UniqueFn& src) {
         dst.storage_.ptr = src.storage_.ptr;
       };
-      destroy_ = [](UniqueFunction& self) { delete self.heap_ptr<Fn>(); };
+      destroy_ = [](UniqueFn& self) { delete self.heap_ptr<Fn>(); };
     }
   }
 
-  UniqueFunction(UniqueFunction&& other) noexcept { take_(other); }
+  UniqueFn(UniqueFn&& other) noexcept { take_(other); }
 
-  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+  UniqueFn& operator=(UniqueFn&& other) noexcept {
     if (this != &other) {
       reset();
       take_(other);
@@ -59,10 +75,10 @@ class UniqueFunction {
     return *this;
   }
 
-  UniqueFunction(const UniqueFunction&) = delete;
-  UniqueFunction& operator=(const UniqueFunction&) = delete;
+  UniqueFn(const UniqueFn&) = delete;
+  UniqueFn& operator=(const UniqueFn&) = delete;
 
-  ~UniqueFunction() { reset(); }
+  ~UniqueFn() { reset(); }
 
   void reset() noexcept {
     if (destroy_) {
@@ -73,12 +89,14 @@ class UniqueFunction {
     }
   }
 
-  void operator()() { invoke_(*this); }
+  R operator()(Args... args) {
+    return invoke_(*this, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const noexcept { return invoke_ != nullptr; }
 
  private:
-  void take_(UniqueFunction& other) noexcept {
+  void take_(UniqueFn& other) noexcept {
     if (other.invoke_) {
       other.relocate_(*this, other);
       invoke_ = other.invoke_;
@@ -103,9 +121,12 @@ class UniqueFunction {
     alignas(std::max_align_t) unsigned char buf[kInlineSize];
     void* ptr;
   } storage_;
-  void (*invoke_)(UniqueFunction&) = nullptr;
-  void (*relocate_)(UniqueFunction&, UniqueFunction&) = nullptr;
-  void (*destroy_)(UniqueFunction&) = nullptr;
+  R (*invoke_)(UniqueFn&, Args...) = nullptr;
+  void (*relocate_)(UniqueFn&, UniqueFn&) = nullptr;
+  void (*destroy_)(UniqueFn&) = nullptr;
 };
+
+/// The engine's callback type and the I/O stack's completion-callback type.
+using UniqueFunction = UniqueFn<void()>;
 
 }  // namespace dpar::sim

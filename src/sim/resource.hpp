@@ -7,16 +7,16 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/func.hpp"
 
 namespace dpar::sim {
 
 class FifoResource {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
 
   explicit FifoResource(Engine& eng) : eng_(eng) {}
 
@@ -51,9 +51,14 @@ class FifoResource {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     busy_time_ += job.service;
-    eng_.after(job.service, [this, done = std::move(job.done)]() mutable {
+    // One job is in service at a time, so its continuation parks in a member
+    // slot and the engine lambda captures only `this` — re-capturing the
+    // 72-byte Callback would spill past the engine's inline buffer.
+    current_done_ = std::move(job.done);
+    eng_.after(job.service, [this] {
       // Finish the current job, then pull the next one; completing before
       // starting keeps queue-length observations consistent.
+      Callback done = std::move(current_done_);
       done();
       start_next();
     });
@@ -61,6 +66,7 @@ class FifoResource {
 
   Engine& eng_;
   std::deque<Job> queue_;
+  Callback current_done_;
   bool busy_ = false;
   Time busy_time_ = 0;
   std::uint64_t total_jobs_ = 0;

@@ -215,7 +215,7 @@ TEST(TestbedDetails, RunThrowsOnUndrainableDeadlock) {
   // A job whose driver never completes I/O must be caught by the guard in
   // Testbed::run rather than silently reporting success.
   struct StuckDriver : mpi::IoDriver {
-    void io(mpi::Process&, const mpi::IoCall&, std::function<void()>) override {}
+    void io(mpi::Process&, const mpi::IoCall&, sim::UniqueFunction) override {}
     std::string name() const override { return "stuck"; }
   };
   harness::Testbed tb(small_config());

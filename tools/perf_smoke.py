@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate over bench_micro's perf accounting.
+
+Reads the dpar-bench-perf-v1 JSON that bench_micro appends to
+BENCH_sim_core.json (or DPAR_BENCH_JSON) and applies two checks:
+
+1. Machine-independent ratio gates: the flat schedulers must sustain at
+   least MIN_DUTY_RATIO x the events/sec of their retained multimap
+   references on the enqueue/next/completed duty cycle. NOOP is reported
+   but not gated -- its reference is already a flat std::deque, not a
+   multimap, so there is no node-based baseline to beat.
+2. Machine-dependent absolute floor: every benchmark present in the
+   checked-in baseline must reach (1 - MAX_REGRESSION) x its baseline
+   events/sec. This catches large regressions on comparable hardware;
+   the ratio gates above are the authoritative cross-machine signal.
+
+Exit status is non-zero on any failure unless --warn-only is given
+(sanitizer legs: instrumentation skews timings far beyond 30%).
+"""
+
+import argparse
+import json
+import sys
+
+MAX_REGRESSION = 0.30
+MIN_DUTY_RATIO = 1.3
+GATED_POLICIES = ("deadline", "cscan", "cfq", "anticipatory")
+UNGATED_POLICIES = ("noop",)
+
+
+def load_micro(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dpar-bench-perf-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    micro = doc.get("benches", {}).get("bench_micro")
+    if micro is None:
+        raise SystemExit(f"{path}: no bench_micro section")
+    return {e["label"]: float(e["value"]) for e in micro["experiments"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", default="BENCH_sim_core.json",
+                    help="perf JSON written by a fresh bench_micro run")
+    ap.add_argument("--baseline", default="bench/perf_baseline.json",
+                    help="checked-in {label: events_per_sec} baseline")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report failures but exit 0 (sanitizer legs)")
+    args = ap.parse_args()
+
+    current = load_micro(args.current)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def ratio(policy):
+        flat = current.get(f"BM_SchedDutyCycle/{policy}_flat")
+        ref = current.get(f"BM_SchedDutyCycle/{policy}_ref")
+        if flat is None or ref is None or ref <= 0:
+            return None
+        return flat / ref
+
+    print("== scheduler duty-cycle: flat vs reference ==")
+    for policy in GATED_POLICIES + UNGATED_POLICIES:
+        r = ratio(policy)
+        gated = policy in GATED_POLICIES
+        if r is None:
+            if gated:
+                failures.append(f"duty-cycle pair missing for {policy}")
+            continue
+        verdict = ""
+        if gated:
+            ok = r >= MIN_DUTY_RATIO
+            verdict = "ok" if ok else f"FAIL (< {MIN_DUTY_RATIO}x)"
+            if not ok:
+                failures.append(
+                    f"{policy}: flat/ref duty-cycle {r:.2f}x < {MIN_DUTY_RATIO}x")
+        else:
+            verdict = "tracked, not gated"
+        print(f"  {policy:<13} {r:6.2f}x  {verdict}")
+
+    print("== absolute events/sec vs checked-in baseline ==")
+    for label in sorted(baseline):
+        base = float(baseline[label])
+        if base <= 0:
+            print(f"  {label:<45} skipped (no baseline rate)")
+            continue
+        cur = current.get(label)
+        if cur is None:
+            failures.append(f"{label}: present in baseline, missing from run")
+            print(f"  {label:<45} MISSING")
+            continue
+        delta = cur / base - 1.0
+        bad = cur < base * (1.0 - MAX_REGRESSION)
+        if bad:
+            failures.append(
+                f"{label}: {cur:.3g} ev/s is {-delta:.0%} below baseline "
+                f"{base:.3g} (limit {MAX_REGRESSION:.0%})")
+        print(f"  {label:<45} {delta:+7.1%}{'  FAIL' if bad else ''}")
+
+    if failures:
+        print(f"\nperf-smoke: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"  - {f}")
+        if args.warn_only:
+            print("perf-smoke: --warn-only set; not failing the build")
+            return 0
+        return 1
+    print("\nperf-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
