@@ -168,6 +168,44 @@ std::uint64_t GlobalCache::owner_bytes(std::uint64_t owner) const {
   return sum;
 }
 
+std::uint64_t GlobalCache::invalidate_server(const pfs::StripeLayout& layout,
+                                             std::uint32_t server) {
+  std::uint64_t invalidated = 0;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    ChunkMeta& meta = it->second;
+    const std::uint64_t chunk_base = it->first.index * params_.chunk_bytes;
+    // Walk the chunk stripe unit by stripe unit; units striped to the failed
+    // server lose their clean valid bytes (dirty bytes are the application's
+    // own data and survive for write-back).
+    for (std::uint64_t off = chunk_base - chunk_base % layout.unit_bytes;
+         off < chunk_base + params_.chunk_bytes; off += layout.unit_bytes) {
+      if (layout.server_of(off) != server) continue;
+      const std::uint64_t lo =
+          std::max(off, chunk_base) - chunk_base;  // chunk-local
+      const std::uint64_t hi =
+          std::min(off + layout.unit_bytes, chunk_base + params_.chunk_bytes) -
+          chunk_base;
+      if (!meta.valid.intersects(lo, hi)) continue;
+      // Clean bytes in [lo, hi) = valid minus dirty: remove the whole window,
+      // then restore the dirty intersection.
+      std::uint64_t before = meta.valid.total_bytes();
+      meta.valid.remove(lo, hi);
+      for (const auto& d : meta.dirty.ranges()) {
+        const std::uint64_t dlo = std::max(d.begin, lo);
+        const std::uint64_t dhi = std::min(d.end, hi);
+        if (dlo < dhi) meta.valid.add(dlo, dhi);
+      }
+      invalidated += before - meta.valid.total_bytes();
+    }
+    if (meta.valid.empty() && meta.dirty.empty()) {
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return invalidated;
+}
+
 std::uint64_t GlobalCache::evict_idle(sim::Time now) {
   std::uint64_t evicted = 0;
   for (auto it = chunks_.begin(); it != chunks_.end();) {

@@ -93,6 +93,14 @@ class GlobalCache {
   /// Bytes currently charged to `owner` (valid bytes of chunks it owns).
   std::uint64_t owner_bytes(std::uint64_t owner) const;
 
+  /// Crash invalidation: drop every valid-but-clean byte range that was
+  /// sourced from `server`'s stripes (per `layout`). Clean cached data came
+  /// off that server's disk and can no longer be trusted against it; dirty
+  /// ranges are application-sourced and are retained for write-back. Returns
+  /// the invalidated byte count.
+  std::uint64_t invalidate_server(const pfs::StripeLayout& layout,
+                                  std::uint32_t server);
+
   /// Drop chunks not referenced since `now - idle_eviction` (dirty chunks are
   /// retained). Returns evicted byte count.
   std::uint64_t evict_idle(sim::Time now);

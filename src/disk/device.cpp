@@ -4,7 +4,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/fanin.hpp"
+#include "fault/injector.hpp"
 
 namespace dpar::disk {
 
@@ -86,19 +86,29 @@ void DiskDevice::poll() {
       ev.seek_distance = model_.seek_distance(req.lba);
       trace_.record(ev);
 
-      const sim::Time t = model_.serve(req.lba, req.sectors);
+      sim::Time t = model_.serve(req.lba, req.sectors);
+      fault::Status st = fault::Status::kOk;
+      if (injector_) {
+        // Even a failing request occupies the drive for its full service time
+        // (the head travels and the drive retries internally before giving up).
+        const auto v = injector_->disk_verdict(owner_, req.lba, req.sectors);
+        st = v.status;
+        t += v.stall;
+      }
       busy_ = true;
       busy_time_ += t;
       ++served_;
       bytes_ += req.bytes();
       inflight_ = std::move(req);
+      inflight_status_ = st;
       eng_.after(t, [this] {
         busy_ = false;
         // Move out first: the completion may re-enter submit()/poll() and
         // dispatch the next request into inflight_.
         Request done_req = std::move(inflight_);
+        const fault::Status st = inflight_status_;
         sched_->completed(done_req, eng_.now());
-        if (done_req.done) done_req.done();
+        if (done_req.done) done_req.done(st);
         poll();
       });
       return;
@@ -154,9 +164,9 @@ void Raid0Device::submit(Request r) {
     remaining -= take;
   }
 
-  auto* fan = sim::make_fanin(
-      pieces.size(), [done = std::move(r.done)]() mutable {
-        if (done) done();
+  auto* fan = fault::make_status_fanin(
+      pieces.size(), [done = std::move(r.done)](fault::Status st) mutable {
+        if (done) done(st);
       });
   for (const Piece& p : pieces) {
     Request sub;
@@ -165,7 +175,7 @@ void Raid0Device::submit(Request r) {
     sub.sectors = static_cast<std::uint32_t>(p.sectors);
     sub.is_write = r.is_write;
     sub.context = r.context;
-    sub.done = [fan] { fan->complete(); };
+    sub.done = [fan](fault::Status st) { fan->complete(st); };
     member(p.member).submit(std::move(sub));
   }
 }

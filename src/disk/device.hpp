@@ -11,6 +11,10 @@
 #include "disk/scheduler.hpp"
 #include "sim/engine.hpp"
 
+namespace dpar::fault {
+class FaultInjector;
+}
+
 namespace dpar::disk {
 
 /// Common interface so RAID compositions and plain disks interchange.
@@ -26,6 +30,13 @@ class BlockDevice {
     for (Request& r : batch) submit(std::move(r));
   }
   virtual std::uint64_t capacity_sectors() const = 0;
+  /// Arm fault injection for this device. `owner` identifies the data server
+  /// the device belongs to (used to match per-server bad-sector ranges). A
+  /// null injector (the default) keeps the dispatch path fault-free.
+  virtual void set_fault_injector(fault::FaultInjector* inj, std::uint32_t owner) {
+    (void)inj;
+    (void)owner;
+  }
 };
 
 class DiskDevice final : public BlockDevice {
@@ -35,6 +46,10 @@ class DiskDevice final : public BlockDevice {
   void submit(Request r) override;
   void submit_batch(std::vector<Request> batch) override;
   std::uint64_t capacity_sectors() const override { return model_.params().capacity_sectors(); }
+  void set_fault_injector(fault::FaultInjector* inj, std::uint32_t owner) override {
+    injector_ = inj;
+    owner_ = owner;
+  }
 
   BlkTrace& trace() { return trace_; }
   const DiskModel& model() const { return model_; }
@@ -56,6 +71,10 @@ class DiskDevice final : public BlockDevice {
   /// event captures only `this` instead of spilling the request (and its
   /// callback) into a heap-allocated closure.
   Request inflight_;
+  /// Outcome of the in-service request, decided at dispatch time.
+  fault::Status inflight_status_ = fault::Status::kOk;
+  fault::FaultInjector* injector_ = nullptr;
+  std::uint32_t owner_ = 0;
   bool busy_ = false;
   bool plugged_ = false;
   sim::EventId plug_event_{};
@@ -75,6 +94,10 @@ class Raid0Device final : public BlockDevice {
 
   void submit(Request r) override;
   std::uint64_t capacity_sectors() const override;
+  void set_fault_injector(fault::FaultInjector* inj, std::uint32_t owner) override {
+    d0_.set_fault_injector(inj, owner);
+    d1_.set_fault_injector(inj, owner);
+  }
 
   DiskDevice& member(int i) { return i == 0 ? d0_ : d1_; }
 

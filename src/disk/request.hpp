@@ -4,10 +4,15 @@
 
 #include <cstdint>
 
+#include "fault/status.hpp"
 #include "sim/func.hpp"
 #include "sim/time.hpp"
 
 namespace dpar::disk {
+
+/// Completion callback of a block request: receives the request's outcome
+/// (always fault::Status::kOk unless fault injection is active).
+using CompletionFn = sim::UniqueFn<void(fault::Status)>;
 
 inline constexpr std::uint64_t kSectorBytes = 512;
 
@@ -28,7 +33,7 @@ struct Request {
   /// Completion continuation. Move-only: a Request has exactly one owner at a
   /// time (issuer → scheduler queue → device in-flight slot), and the callback
   /// rides along without ever being copied or re-allocated.
-  sim::UniqueFunction done;
+  CompletionFn done;
 
   std::uint64_t end_lba() const { return lba + sectors; }
   std::uint64_t bytes() const { return std::uint64_t{sectors} * kSectorBytes; }

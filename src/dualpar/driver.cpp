@@ -13,6 +13,23 @@ DualParDriver::DualParDriver(mpiio::IoEnv env, cache::GlobalCache& cache, Emc& e
                              Params params)
     : VanillaDriver(env), cache_(cache), emc_(emc), params_(params) {}
 
+void DualParDriver::on_raw_status(fault::Status st) {
+  // Fault-free runs never reach the EMC feedback path (the EWMA would churn
+  // for nothing); with injection armed, every delegated vanilla transfer
+  // votes so EMC can observe recovery while degraded.
+  if (env_.fs.fault_injector() == nullptr) return;
+  note_batch_status(st);
+}
+
+void DualParDriver::note_batch_status(fault::Status st) {
+  if (fault::ok(st)) {
+    emc_.report_io_ok();
+    return;
+  }
+  ++stats_.io_errors;
+  emc_.report_io_error();
+}
+
 DualParDriver::JobState& DualParDriver::state_for(mpi::Job& job) {
   auto it = jobs_.find(job.id());
   if (it == jobs_.end()) {
@@ -237,7 +254,7 @@ void issue_batch(mpiio::IoEnv& env, cache::GlobalCache& cache, pfs::FileId file,
                  const std::vector<pfs::Segment>& segments, bool is_write,
                  std::uint64_t context,
                  const std::map<std::uint64_t, net::NodeId>* intended_homes,
-                 sim::UniqueFunction done) {
+                 sim::UniqueFn<void(fault::Status)> done) {
   std::map<net::NodeId, std::vector<pfs::Segment>> per_home;
   const std::uint64_t chunk = cache.params().chunk_bytes;
   for (const auto& seg : segments) {
@@ -262,13 +279,16 @@ void issue_batch(mpiio::IoEnv& env, cache::GlobalCache& cache, pfs::FileId file,
     }
   }
   if (per_home.empty()) {
-    env.fs.engine().after(0, std::move(done));
+    env.fs.engine().after(0, [done = std::move(done)]() mutable {
+      done(fault::Status::kOk);
+    });
     return;
   }
-  auto* fan = sim::make_fanin(per_home.size(), std::move(done));
+  auto* fan = fault::make_status_fanin(per_home.size(), std::move(done));
   for (auto& [home, list] : per_home) {
-    env.clients.for_node(home).io(file, list, is_write, context,
-                                  [fan](std::uint64_t) { fan->complete(); });
+    env.clients.for_node(home).io(
+        file, list, is_write, context,
+        [fan](std::uint64_t, fault::Status st) { fan->complete(st); });
   }
 }
 
@@ -302,9 +322,21 @@ void DualParDriver::run_writeback(mpi::Job& job, sim::UniqueFunction next) {
     for (const auto& fp : *plans) {
       for (const auto& w : fp.plan.writes) stats_.writeback_bytes += w.length;
       issue_batch(env_, cache_, fp.file, fp.plan.writes, /*is_write=*/true,
-                  jst.crm_context, nullptr, [this, fp, fan] {
-                    for (const auto& w : fp.plan.writes)
-                      cache_.clear_dirty(fp.file, w);
+                  jst.crm_context, nullptr, [this, fp, fan](fault::Status wst) {
+                    if (fault::ok(wst)) {
+                      // The flush landed: those cache ranges are clean now.
+                      for (const auto& w : fp.plan.writes)
+                        cache_.clear_dirty(fp.file, w);
+                    } else {
+                      // Flush failed: keep the data dirty so the next cycle
+                      // (or the final flush) retries it — losing application
+                      // writes is not an option.
+                      ++stats_.writeback_retained;
+                      ++stats_.aborted_batches;
+                      if (auto* inj = env_.fs.fault_injector())
+                        ++inj->counters().dualpar_aborted_batches;
+                    }
+                    note_batch_status(wst);
                     fan->complete();
                   });
     }
@@ -322,7 +354,12 @@ void DualParDriver::run_writeback(mpi::Job& job, sim::UniqueFunction next) {
     if (fp.plan.hole_reads.empty()) continue;
     stats_.hole_read_bytes += fp.plan.hole_bytes;
     issue_batch(env_, cache_, fp.file, fp.plan.hole_reads, /*is_write=*/false,
-                st.crm_context, nullptr, [hole_fan] { hole_fan->complete(); });
+                st.crm_context, nullptr, [this, hole_fan](fault::Status hst) {
+                  // A failed hole read degrades the merge (the write still
+                  // covers the dirty ranges); record it and carry on.
+                  note_batch_status(hst);
+                  hole_fan->complete();
+                });
   }
 }
 
@@ -360,13 +397,18 @@ void DualParDriver::run_prefetch(mpi::Job& job, sim::UniqueFunction next) {
   auto next_shared = std::make_shared<sim::UniqueFunction>(std::move(next));
   auto batches =
       std::make_shared<std::vector<std::pair<pfs::FileId, std::vector<pfs::Segment>>>>();
-  auto on_all_done = [this, &job, next_shared, batches, homes] {
+  // Files whose prefetch batch came back failed: nothing of theirs may enter
+  // the cache (the payload never arrived), the readers fall back to direct
+  // fetches on resume.
+  auto failed = std::make_shared<std::set<pfs::FileId>>();
+  auto on_all_done = [this, &job, next_shared, batches, homes, failed] {
     // Fill the cache with exact per-ghost attributions first (so the chunks
     // carry the prefetched flag for quota and mis-prefetch accounting), then
     // the merged remnants (absorbed holes) under the CRM context.
     JobState& jst = state_for(job);
     for (const auto& [id, g] : jst.ghosts) {
       for (const auto& call : g->predicted()) {
+        if (failed->count(call.file)) continue;
         for (const auto& s : call.segments) {
           net::NodeId hint = cache::kAutoHome;
           const auto fit = homes->find(call.file);
@@ -382,8 +424,10 @@ void DualParDriver::run_prefetch(mpi::Job& job, sim::UniqueFunction next) {
         }
       }
     }
-    for (const auto& [f, batch] : *batches)
+    for (const auto& [f, batch] : *batches) {
+      if (failed->count(f)) continue;
       for (const auto& s : batch) cache_.insert(f, s, jst.crm_context, false);
+    }
     (*next_shared)();
   };
   auto* fan = sim::make_fanin(raw.size(), std::move(on_all_done));
@@ -397,7 +441,17 @@ void DualParDriver::run_prefetch(mpi::Job& job, sim::UniqueFunction next) {
     batches->emplace_back(f, std::move(batch));
     const auto* file_homes = homes->count(f) ? &(*homes)[f] : nullptr;
     issue_batch(env_, cache_, f, batches->back().second, /*is_write=*/false,
-                st.crm_context, file_homes, [fan] { fan->complete(); });
+                st.crm_context, file_homes,
+                [this, fan, failed, f](fault::Status pst) {
+                  if (!fault::ok(pst)) {
+                    failed->insert(f);
+                    ++stats_.aborted_batches;
+                    if (auto* inj = env_.fs.fault_injector())
+                      ++inj->counters().dualpar_aborted_batches;
+                  }
+                  note_batch_status(pst);
+                  fan->complete();
+                });
   }
 }
 

@@ -41,6 +41,10 @@ struct DriverStats {
   std::uint64_t miss_direct_bytes = 0;  ///< mis-predicted reads served directly
   std::uint64_t ghost_forks = 0;
   std::uint64_t deadline_expiries = 0;
+  // ---- Fault handling ----
+  std::uint64_t io_errors = 0;          ///< failed transfers (any path)
+  std::uint64_t aborted_batches = 0;    ///< CRM batches that came back failed
+  std::uint64_t writeback_retained = 0; ///< dirty flushes kept for retry
 };
 
 class DualParDriver : public mpiio::VanillaDriver {
@@ -76,6 +80,10 @@ class DualParDriver : public mpiio::VanillaDriver {
     std::uint64_t crm_context = 0;
     bool final_flush_done = false;
   };
+
+  void on_raw_status(fault::Status st) override;
+  /// Outcome of a CRM batch or delegated transfer: ledger + EMC feedback.
+  void note_batch_status(fault::Status st);
 
   JobState& state_for(mpi::Job& job);
   void read_path(mpi::Process& proc, const mpi::IoCall& call, sim::UniqueFunction done);

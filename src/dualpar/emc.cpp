@@ -22,10 +22,53 @@ void Emc::register_job(mpi::Job& job, Policy policy) {
 }
 
 Mode Emc::mode(std::uint32_t job_id) const {
+  // Degraded mode trumps everything, forced policies included: with a server
+  // down or the error rate past the threshold, batching half the cluster's
+  // data behind one CRM cycle only multiplies the blast radius of the next
+  // fault. Every job runs vanilla until the cluster recovers.
+  if (degraded_) return Mode::kNormal;
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return Mode::kNormal;
   if (it->second.latched) return Mode::kNormal;
   return it->second.mode;
+}
+
+void Emc::report_io_error() {
+  error_ewma_ = params_.fault_error_alpha +
+                (1.0 - params_.fault_error_alpha) * error_ewma_;
+  update_degraded();
+}
+
+void Emc::report_io_ok() {
+  // Only meaningful while the fault machinery is live; fault-free runs never
+  // call in here, so the fast path stays untouched.
+  error_ewma_ = (1.0 - params_.fault_error_alpha) * error_ewma_;
+  update_degraded();
+}
+
+void Emc::note_server_state(std::uint32_t, bool down) {
+  if (down) {
+    ++servers_down_;
+  } else if (servers_down_ > 0) {
+    --servers_down_;
+  }
+  update_degraded();
+}
+
+void Emc::update_degraded() {
+  if (!degraded_) {
+    if (servers_down_ > 0 || error_ewma_ > params_.fault_degrade_threshold) {
+      degraded_ = true;
+      if (injector_) ++injector_->counters().emc_degraded_entries;
+    }
+    return;
+  }
+  // Hysteresis: re-engage only once every server is back and the error EWMA
+  // has decayed well below the entry threshold.
+  if (servers_down_ == 0 && error_ewma_ < params_.fault_resume_threshold) {
+    degraded_ = false;
+    if (injector_) ++injector_->counters().emc_degraded_exits;
+  }
 }
 
 void Emc::report_misprefetch(std::uint32_t job_id, double ratio) {

@@ -40,6 +40,20 @@ class Emc : public mpiio::RequestObserver {
   void report_misprefetch(std::uint32_t job_id, double ratio);
   bool latched_off(std::uint32_t job_id) const;
 
+  // ---- Degraded mode under faults ----
+  /// Outcome of one finished transfer (DualPar batch or delegated vanilla
+  /// call). Feeds the error EWMA that drives fall-back and re-engagement.
+  void report_io_error();
+  void report_io_ok();
+  /// Fault-injector listener: any data server down forces normal mode for
+  /// every job until it restarts.
+  void note_server_state(std::uint32_t server, bool down);
+  /// True while EMC is forcing vanilla execution because of faults.
+  bool degraded() const { return degraded_; }
+  double error_ewma() const { return error_ewma_; }
+  /// Route degraded entry/exit counts into a run's fault ledger (optional).
+  void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
+
   /// ADIO request observation (client side, feeds ReqDist).
   void observe(std::uint32_t job_id, pfs::FileId file,
                const std::vector<pfs::Segment>& segments, sim::Time now) override;
@@ -78,10 +92,16 @@ class Emc : public mpiio::RequestObserver {
     sim::Time last_switch = 0;
   };
 
+  void update_degraded();
+
   sim::Engine& eng_;
   Params params_;
   std::vector<pfs::DataServer*> servers_;
   std::map<std::uint32_t, JobEntry> jobs_;
+  fault::FaultInjector* injector_ = nullptr;
+  std::uint32_t servers_down_ = 0;
+  double error_ewma_ = 0.0;
+  bool degraded_ = false;
   bool ticking_ = false;
   double last_seek_ = 0.0;
   double last_req_ = 0.0;

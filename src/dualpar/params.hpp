@@ -47,6 +47,17 @@ struct Params {
   bool sort_batch = true;
   bool merge_batch = true;
   bool fill_holes = true;
+
+  // ---- Degraded mode under faults ----
+  /// EMC falls back to vanilla independent execution (normal mode for every
+  /// job, overriding forced policies) when the EWMA of transfer outcomes
+  /// (1 = error, 0 = ok) exceeds this, or when any data server is down.
+  double fault_degrade_threshold = 0.25;
+  /// ... and re-engages data-driven scheduling once every server is back up
+  /// and the EWMA has decayed below this (hysteresis band).
+  double fault_resume_threshold = 0.05;
+  /// Smoothing factor of the transfer-outcome EWMA.
+  double fault_error_alpha = 0.2;
 };
 
 }  // namespace dpar::dualpar

@@ -1,5 +1,6 @@
 #include "dualpar/preexec.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
@@ -89,12 +90,25 @@ void PreexecDriver::issue_prefetch(mpi::Process& proc, PState& st, mpi::IoCall c
   pfs::Client& client = env_.clients.for_node(proc.node().id());
   auto call_shared = std::make_shared<mpi::IoCall>(std::move(call));
   client.io(call_shared->file, call_shared->segments, /*is_write=*/false,
-            proc.global_id(), [this, &proc, &st, call_shared](std::uint64_t) {
+            proc.global_id(),
+            [this, &proc, &st, call_shared](std::uint64_t, fault::Status fst) {
               --st.inflight_pieces;
+              if (!fault::ok(fst)) {
+                // Ghost I/O aborts cleanly: the data never arrived, so cache
+                // nothing and release the window space it reserved (otherwise
+                // repeated faults would wedge the prefetcher at full window).
+                // A parked reader is rescued below by a direct fetch.
+                ++stats_.prefetch_aborts;
+                mpiio::note_io_status(env_, fst);
+                std::uint64_t aborted = 0;
+                for (const auto& s : call_shared->segments) aborted += s.length;
+                st.window -= std::min(st.window, aborted);
+              }
               for (const auto& s : call_shared->segments) {
                 st.inflight[call_shared->file].remove(s.offset, s.end());
-                cache_.insert(call_shared->file, s, proc.global_id(),
-                              /*prefetched=*/true);
+                if (fault::ok(fst))
+                  cache_.insert(call_shared->file, s, proc.global_id(),
+                                /*prefetched=*/true);
               }
               if (st.waiting && covered_by_cache(st.waiting->call)) {
                 auto waiting = std::move(st.waiting);

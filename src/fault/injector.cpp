@@ -1,0 +1,111 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace dpar::fault {
+
+FaultInjector::FaultInjector(sim::Engine& eng, FaultPlan plan,
+                             std::uint32_t num_servers)
+    : eng_(eng),
+      plan_(std::move(plan)),
+      disk_rng_(sim::splitmix64(plan_.seed ^ 0xd15c0000u)),
+      net_rng_(sim::splitmix64(plan_.seed ^ 0x0e70000u)),
+      server_rng_(sim::splitmix64(plan_.seed ^ 0x5e77e000u)),
+      down_(num_servers, false) {
+  plan_.validate();
+  for (const auto& c : plan_.server.crashes)
+    if (c.server >= num_servers)
+      throw std::invalid_argument("FaultPlan: crash names a server that does not exist");
+  for (const auto& b : plan_.disk.bad_sectors)
+    if (b.server != kAllServers && b.server >= num_servers)
+      throw std::invalid_argument(
+          "FaultPlan: bad-sector range names a server that does not exist");
+}
+
+FaultInjector::DiskVerdict FaultInjector::disk_verdict(std::uint32_t server,
+                                                       std::uint64_t lba,
+                                                       std::uint32_t sectors) {
+  DiskVerdict v;
+  for (const auto& b : plan_.disk.bad_sectors) {
+    if (b.server != kAllServers && b.server != server) continue;
+    if (lba < b.lba + b.sectors && b.lba < lba + sectors) {
+      ++counters_.disk_bad_sector_hits;
+      ++counters_.disk_media_errors;
+      v.status = Status::kMediaError;
+      return v;
+    }
+  }
+  if (plan_.disk.media_error_rate > 0.0 &&
+      disk_rng_.chance(plan_.disk.media_error_rate)) {
+    ++counters_.disk_media_errors;
+    v.status = Status::kMediaError;
+    return v;
+  }
+  if (plan_.disk.stall_rate > 0.0 && disk_rng_.chance(plan_.disk.stall_rate)) {
+    ++counters_.disk_stalls;
+    v.stall = plan_.disk.stall_time;
+  }
+  return v;
+}
+
+bool FaultInjector::net_deliver(std::uint32_t from, std::uint32_t to,
+                                sim::Time now, sim::Time& extra_delay) {
+  extra_delay = 0;
+  for (const auto& p : plan_.net.partitions) {
+    const bool pair = (p.node_a == from && p.node_b == to) ||
+                      (p.node_a == to && p.node_b == from);
+    if (pair && now >= p.start && now < p.end) {
+      ++counters_.net_partition_drops;
+      ++counters_.net_dropped;
+      return false;
+    }
+  }
+  if (plan_.net.drop_rate > 0.0 && net_rng_.chance(plan_.net.drop_rate)) {
+    ++counters_.net_dropped;
+    return false;
+  }
+  if (plan_.net.delay_rate > 0.0 && net_rng_.chance(plan_.net.delay_rate)) {
+    ++counters_.net_delayed;
+    extra_delay = plan_.net.delay_time;
+  }
+  return true;
+}
+
+sim::Time FaultInjector::server_stall() {
+  if (plan_.server.stall_rate > 0.0 &&
+      server_rng_.chance(plan_.server.stall_rate)) {
+    ++counters_.server_stalls;
+    return plan_.server.stall_time;
+  }
+  return 0;
+}
+
+void FaultInjector::note_server_state(std::uint32_t server, bool down) {
+  if (server >= down_.size() || down_[server] == down) return;
+  down_[server] = down;
+  if (down) {
+    ++servers_down_;
+    ++counters_.server_crashes;
+  } else {
+    --servers_down_;
+    ++counters_.server_restarts;
+  }
+  for (const auto& l : listeners_) l(server, down);
+}
+
+sim::Time FaultInjector::request_timeout(std::uint64_t bytes) const {
+  return plan_.retry.timeout_base +
+         sim::transfer_time(bytes, plan_.retry.timeout_min_bandwidth);
+}
+
+sim::Time FaultInjector::backoff(std::uint32_t attempt) const {
+  double b = static_cast<double>(plan_.retry.backoff_base);
+  for (std::uint32_t i = 1; i < attempt; ++i) b *= plan_.retry.backoff_factor;
+  b = std::min(b, static_cast<double>(plan_.retry.backoff_max));
+  return static_cast<sim::Time>(b);
+}
+
+}  // namespace dpar::fault

@@ -1,0 +1,75 @@
+// Failure semantics of the I/O stack.
+//
+// Every completion callback below the MPI-IO layer carries a Status: the disk
+// reports media errors, the data server reports crash-lost work, and the PFS
+// client adds timeouts for requests whose replies never arrive (dropped
+// messages, crashed servers). kOk is the only value ever seen when fault
+// injection is disabled, and the enum is ordered by severity so fan-in paths
+// can combine branch outcomes with a max.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace dpar::fault {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kMediaError = 1,  ///< disk-level unrecoverable sector error
+  kTimeout = 2,     ///< no reply within the retry budget
+  kServerDown = 3,  ///< request refused or lost by a crashed data server
+};
+
+constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kMediaError: return "media-error";
+    case Status::kTimeout: return "timeout";
+    case Status::kServerDown: return "server-down";
+  }
+  return "?";
+}
+
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+/// Worst of two outcomes (severity order of the enum values).
+constexpr Status combine(Status a, Status b) { return a < b ? b : a; }
+
+/// Fan-in over N branches that each complete with a Status; the continuation
+/// receives the worst branch outcome. Same ownership contract as
+/// sim::FanInT: exactly n complete() calls, the block frees itself on the
+/// last one, and the continuation may re-enter or deallocate freely.
+template <class F>
+class StatusFanIn {
+ public:
+  StatusFanIn(std::size_t n, F f) : remaining_(n), done_(std::move(f)) {}
+
+  void complete(Status s) {
+    status_ = combine(status_, s);
+    if (--remaining_ == 0) {
+      F d = std::move(done_);
+      const Status st = status_;
+      delete this;
+      d(st);
+    }
+  }
+
+ private:
+  std::size_t remaining_;
+  Status status_ = Status::kOk;
+  F done_;
+};
+
+/// Heap-allocate a status fan-in of `n` branches completing into `f`.
+/// n == 0 runs `f(kOk)` immediately and returns nullptr.
+template <class F>
+StatusFanIn<F>* make_status_fanin(std::size_t n, F f) {
+  if (n == 0) {
+    f(Status::kOk);
+    return nullptr;
+  }
+  return new StatusFanIn<F>(n, std::move(f));
+}
+
+}  // namespace dpar::fault

@@ -30,6 +30,8 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   if (cfg_.dualpar.cache_quota == 0)
     throw std::invalid_argument("Testbed: zero cache quota (use the vanilla driver "
                                 "to disable DualPar)");
+  // Malformed fault plans are rejected loudly even when they could not fire.
+  cfg_.fault.validate();
   // Node layout: data servers on [0, S), metadata server on S, compute nodes
   // on [S+1, S+1+C).
   const std::uint32_t total_nodes = cfg_.data_servers + 1 + cfg_.compute_nodes;
@@ -67,6 +69,31 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   collective_ = std::make_unique<mpiio::CollectiveDriver>(env, cfg_.collective);
   dualpar_ = std::make_unique<dualpar::DualParDriver>(env, *cache_, *emc_, cfg_.dualpar);
   preexec_ = std::make_unique<dualpar::PreexecDriver>(env, *cache_, cfg_.dualpar);
+
+  if (cfg_.fault.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(eng_, cfg_.fault,
+                                                       cfg_.data_servers);
+    net_->set_fault_injector(injector_.get());
+    fs_->set_fault_injector(injector_.get());
+    emc_->set_fault_injector(injector_.get());
+    for (auto& s : servers_) s->set_fault_injector(injector_.get());
+    // Server up/down transitions fan out from the injector: EMC degrades (or
+    // re-engages) first, then the global cache drops every clean range that
+    // was sourced from the failed server's stripes.
+    injector_->add_server_listener([this](std::uint32_t server, bool down) {
+      emc_->note_server_state(server, down);
+      if (down) {
+        injector_->counters().cache_invalidated_bytes +=
+            cache_->invalidate_server(fs_->layout(), server);
+      }
+    });
+    // The crash/restart schedule is part of the plan: pin the events now.
+    for (const auto& c : cfg_.fault.server.crashes) {
+      pfs::DataServer* srv = servers_[c.server].get();
+      eng_.at(c.at, [srv] { srv->crash(); });
+      eng_.at(c.restart_at, [srv] { srv->restart(); });
+    }
+  }
 }
 
 Testbed::~Testbed() = default;

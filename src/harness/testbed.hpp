@@ -15,6 +15,7 @@
 #include "cache/global_cache.hpp"
 #include "cluster/node.hpp"
 #include "disk/device.hpp"
+#include "fault/injector.hpp"
 #include "dualpar/driver.hpp"
 #include "dualpar/emc.hpp"
 #include "dualpar/params.hpp"
@@ -48,6 +49,10 @@ struct TestbedConfig {
   mpiio::CollectiveParams collective;
   /// Retain full blktrace event lists (disable for long sweeps).
   bool keep_traces = true;
+  /// Fault plan for the run. Default-constructed = disabled: no injector is
+  /// created, every layer keeps its fault-free fast path and the simulation
+  /// output is byte-identical to a build without the fault subsystem.
+  fault::FaultPlan fault;
 };
 
 class Testbed {
@@ -65,6 +70,8 @@ class Testbed {
   dualpar::Emc& emc() { return *emc_; }
   metrics::SystemMonitor& monitor() { return *monitor_; }
   const TestbedConfig& config() const { return cfg_; }
+  /// The run's fault injector, or null when the plan is disabled.
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
 
   mpiio::VanillaDriver& vanilla() { return *vanilla_; }
   mpiio::CollectiveDriver& collective() { return *collective_; }
@@ -103,6 +110,7 @@ class Testbed {
  private:
   TestbedConfig cfg_;
   sim::Engine eng_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<pfs::DataServer>> servers_;
   std::vector<std::unique_ptr<cluster::ComputeNode>> nodes_;

@@ -204,13 +204,22 @@ void CollectiveDriver::run_round(std::uint32_t job_id) {
       if (a.rmw) {
         // Write sieving: fetch the span, patch in memory, write it back.
         client.io(file, a.segs, /*is_write=*/false, a.context,
-                  [&client, file, a, after_io](std::uint64_t) mutable {
+                  [this, &client, file, a, after_io](std::uint64_t,
+                                                     fault::Status st) mutable {
+                    note_io_status(env_, st);
                     client.io(file, a.segs, /*is_write=*/true, a.context,
-                              [after_io](std::uint64_t) mutable { after_io(); });
+                              [this, after_io](std::uint64_t,
+                                               fault::Status wst) mutable {
+                                note_io_status(env_, wst);
+                                after_io();
+                              });
                   });
       } else {
         client.io(file, a.segs, is_write, a.context,
-                  [after_io](std::uint64_t) mutable { after_io(); });
+                  [this, after_io](std::uint64_t, fault::Status st) mutable {
+                    note_io_status(env_, st);
+                    after_io();
+                  });
       }
     }
     if (!any) finish_all();

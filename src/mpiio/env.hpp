@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "pfs/file_system.hpp"
 #include "sim/time.hpp"
@@ -46,5 +47,13 @@ struct IoEnv {
   net::Network& net;
   RequestObserver* observer = nullptr;  ///< optional
 };
+
+/// Ledger hook for a finished transfer: MPI-IO reports the error to the
+/// application (which carries on, as the paper's benchmarks do) and the run's
+/// fault counters record it. No-op without fault injection.
+inline void note_io_status(IoEnv& env, fault::Status st) {
+  if (fault::ok(st)) return;
+  if (auto* inj = env.fs.fault_injector()) ++inj->counters().driver_io_errors;
+}
 
 }  // namespace dpar::mpiio

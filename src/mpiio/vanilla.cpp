@@ -31,7 +31,11 @@ void VanillaDriver::raw_io(mpi::Process& proc, const mpi::IoCall& call,
   }
   pfs::Client& client = env_.clients.for_node(proc.node().id());
   client.io(call.file, call.segments, call.is_write, proc.global_id(),
-            [done = std::move(done)](std::uint64_t) mutable { done(); });
+            [this, done = std::move(done)](std::uint64_t, fault::Status st) mutable {
+              note_io_status(env_, st);
+              on_raw_status(st);
+              done();
+            });
 }
 
 void VanillaDriver::issue_piece(PieceWalk* w) {
@@ -43,7 +47,11 @@ void VanillaDriver::issue_piece(PieceWalk* w) {
   }
   pfs::Client& client = env_.clients.for_node(w->proc->node().id());
   client.io(w->call.file, {w->call.segments[w->index]}, w->call.is_write,
-            w->proc->global_id(), [w](std::uint64_t) {
+            w->proc->global_id(), [w](std::uint64_t, fault::Status st) {
+              // A failed piece is reported and the walk continues: the
+              // application sees the error but the benchmark keeps running.
+              note_io_status(w->drv->env_, st);
+              w->drv->on_raw_status(st);
               ++w->index;
               w->drv->issue_piece(w);
             });

@@ -33,6 +33,11 @@ class VanillaDriver : public mpi::IoDriver {
   void raw_io(mpi::Process& proc, const mpi::IoCall& call,
               sim::UniqueFunction done);
 
+  /// Outcome of every transfer issued through raw_io. Wrappers override to
+  /// feed their mode controller (DualPar -> EMC error EWMA); the base driver
+  /// only keeps the fault ledger via note_io_status.
+  virtual void on_raw_status(fault::Status st) { (void)st; }
+
   IoEnv env_;
 
  private:

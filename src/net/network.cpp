@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/injector.hpp"
+
 namespace dpar::net {
 
 Network::Network(sim::Engine& eng, std::uint32_t num_nodes, NetParams params)
@@ -46,12 +48,24 @@ void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
   }
   const std::uint64_t wire_bytes = bytes + params_.per_message_header;
   const sim::Time tx_time = sim::transfer_time(wire_bytes, params_.bandwidth_bytes_per_s);
-  const sim::Time hop =
+  sim::Time hop =
       params_.switch_latency +
       (params_.latency_jitter > 0
            ? static_cast<sim::Time>(jitter_rng_.uniform(
                  static_cast<std::uint64_t>(params_.latency_jitter)))
            : 0);
+  if (injector_) {
+    sim::Time extra = 0;
+    if (!injector_->net_deliver(from, to, eng_.now(), extra)) {
+      // The message still burns the sender's TX path, then vanishes in the
+      // fabric: `delivered` is destroyed unfired and the sender finds out by
+      // timing out. Jitter was already drawn above, so a dropped message
+      // perturbs no later message's latency.
+      nics_[from].tx->submit(tx_time, [] {});
+      return;
+    }
+    hop += extra;
+  }
   auto* t = new Transit{this, to, wire_bytes, hop, std::move(delivered)};
   nics_[from].tx->submit(tx_time, [t] {
     t->net->eng_.after(t->hop, [t] {

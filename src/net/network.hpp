@@ -17,6 +17,10 @@
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
+namespace dpar::fault {
+class FaultInjector;
+}
+
 namespace dpar::net {
 
 using NodeId = std::uint32_t;
@@ -46,6 +50,11 @@ class Network {
   std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nics_.size()); }
   const NetParams& params() const { return params_; }
 
+  /// Arm fault injection: remote messages may be dropped (the callback is
+  /// destroyed unfired — the sender learns via its own timeout) or delayed.
+  /// Loopback delivery is exempt. Null (the default) disables the hook.
+  void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
+
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
   /// TX busy time of one node, for utilization reporting.
@@ -60,6 +69,7 @@ class Network {
   sim::Engine& eng_;
   NetParams params_;
   std::vector<Nic> nics_;
+  fault::FaultInjector* injector_ = nullptr;
   sim::Rng jitter_rng_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;

@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "sim/fanin.hpp"
+#include "fault/injector.hpp"
 
 namespace dpar::pfs {
 
@@ -40,8 +40,151 @@ void Client::open(FileId file, sim::UniqueFunction done) {
   });
 }
 
+namespace {
+
+/// Control block for one robust (fault-injected) client I/O call.
+///
+/// Ownership is reference-counted: every closure that can reach the op — the
+/// per-shard timeout event, the request-delivery/reply chain through the
+/// network — holds one ref via an RAII OpRef. A dropped message destroys its
+/// closure unfired, which releases the ref automatically, so silent network
+/// loss can never leak the op. `done` fires when every shard has finished
+/// (reply, definitive error, or exhausted retries); the block itself is freed
+/// when the last ref goes away (e.g. a stale retransmitted reply still in
+/// flight after completion).
+struct IoOp {
+  FileSystem* fs;
+  net::NodeId client_node;
+  FileId file;
+  bool is_write;
+  std::uint64_t context;
+  std::uint64_t total_bytes;
+  fault::Status status = fault::Status::kOk;
+  std::uint32_t pending;
+  std::uint32_t refs = 0;
+  IoDoneFn done;
+
+  /// One per involved server.
+  struct Shard {
+    std::uint32_t server;
+    std::vector<ServerRun> runs;  ///< kept across attempts for retransmission
+    std::uint64_t req_msg;
+    std::uint64_t reply_msg;
+    std::uint32_t attempt = 0;  ///< attempts sent so far
+    bool completed = false;
+    sim::EventId timeout{};
+  };
+  std::vector<Shard> shards;
+
+  void unref() {
+    if (--refs == 0) delete this;
+  }
+};
+
+/// Move-only RAII reference to an IoOp; safe to capture in closures that may
+/// be destroyed without running (dropped messages, cancelled timeouts).
+struct OpRef {
+  IoOp* op;
+  explicit OpRef(IoOp* o) : op(o) { ++o->refs; }
+  OpRef(OpRef&& other) noexcept : op(other.op) { other.op = nullptr; }
+  OpRef(const OpRef&) = delete;
+  OpRef& operator=(const OpRef&) = delete;
+  OpRef& operator=(OpRef&&) = delete;
+  ~OpRef() {
+    if (op) op->unref();
+  }
+};
+
+void start_attempt(IoOp* op, std::size_t idx);
+
+/// A shard is done for good (reply arrived or retries exhausted).
+void finish_shard(IoOp* op, std::size_t idx, fault::Status st) {
+  IoOp::Shard& sh = op->shards[idx];
+  sh.completed = true;
+  op->status = fault::combine(op->status, st);
+  if (--op->pending == 0) {
+    ++op->fs->fault_injector()->counters().client_ops_finished;
+    // Move out first: `done` may start new I/O or otherwise re-enter.
+    IoDoneFn done = std::move(op->done);
+    if (done) done(op->total_bytes, op->status);
+  }
+}
+
+void on_reply(IoOp* op, std::size_t idx, std::uint32_t attempt, fault::Status st) {
+  IoOp::Shard& sh = op->shards[idx];
+  fault::FaultInjector& inj = *op->fs->fault_injector();
+  if (sh.completed || sh.attempt != attempt) {
+    // A retransmission raced the original: this reply answers a question the
+    // client is no longer asking.
+    ++inj.counters().client_stale_replies;
+    return;
+  }
+  if (sh.timeout) {
+    op->fs->engine().cancel(sh.timeout);
+    sh.timeout = {};
+  }
+  if (sh.attempt > 1) ++inj.counters().client_recoveries;
+  // Definitive server answers (including media errors) are final: the server
+  // already retried at the drive level, resending the request cannot help.
+  finish_shard(op, idx, st);
+}
+
+void on_timeout(IoOp* op, std::size_t idx) {
+  IoOp::Shard& sh = op->shards[idx];
+  sh.timeout = {};
+  if (sh.completed) return;
+  fault::FaultInjector& inj = *op->fs->fault_injector();
+  ++inj.counters().client_timeouts;
+  if (sh.attempt > inj.max_retries()) {
+    ++inj.counters().client_failures;
+    finish_shard(op, idx,
+                 inj.server_down(sh.server) ? fault::Status::kServerDown
+                                            : fault::Status::kTimeout);
+    return;
+  }
+  ++inj.counters().client_retries;
+  op->fs->engine().after(inj.backoff(sh.attempt), [ref = OpRef(op), idx] {
+    start_attempt(ref.op, idx);
+  });
+}
+
+void start_attempt(IoOp* op, std::size_t idx) {
+  IoOp::Shard& sh = op->shards[idx];
+  ++sh.attempt;
+  const std::uint32_t attempt = sh.attempt;
+  fault::FaultInjector& inj = *op->fs->fault_injector();
+  sim::Engine& eng = op->fs->engine();
+  // Patience scales with the payload so large CRM batches are not declared
+  // dead while legitimately streaming.
+  sh.timeout = eng.after(inj.request_timeout(sh.req_msg + sh.reply_msg),
+                         [ref = OpRef(op), idx] { on_timeout(ref.op, idx); });
+
+  DataServer& srv = op->fs->server(sh.server);
+  net::Network& net = op->fs->network();
+  const net::NodeId srv_node = srv.node();
+  const net::NodeId client_node = op->client_node;
+  const std::uint64_t reply_msg = sh.reply_msg;
+
+  ServerIoRequest req;
+  req.file = op->file;
+  req.is_write = op->is_write;
+  req.context = op->context;
+  req.runs = sh.runs;  // copy: retransmission may need them again
+  req.done = [&net, srv_node, client_node, reply_msg, idx, attempt,
+              ref = OpRef(op)](fault::Status st) mutable {
+    net.send(srv_node, client_node, reply_msg,
+             [ref = std::move(ref), idx, attempt, st] {
+               on_reply(ref.op, idx, attempt, st);
+             });
+  };
+  net.send(client_node, srv_node, sh.req_msg,
+           [&srv, req = std::move(req)]() mutable { srv.handle(std::move(req)); });
+}
+
+}  // namespace
+
 void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write,
-                std::uint64_t context, sim::UniqueFn<void(std::uint64_t)> done) {
+                std::uint64_t context, IoDoneFn done) {
   ++calls_;
   std::vector<std::vector<ServerRun>> per_server(fs_.num_servers());
   std::uint64_t total_bytes = 0;
@@ -55,13 +198,42 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
   for (const auto& runs : per_server)
     if (!runs.empty()) ++involved;
   if (involved == 0) {
-    fs_.engine().after(0, [done = std::move(done)]() mutable { done(0); });
+    fs_.engine().after(0, [done = std::move(done)]() mutable {
+      done(0, fault::Status::kOk);
+    });
     return;
   }
 
-  auto* fan = sim::make_fanin(
-      involved, [done = std::move(done), total_bytes]() mutable {
-        done(total_bytes);
+  if (fault::FaultInjector* inj = fs_.fault_injector()) {
+    // Robust path: one retriable shard per involved server, per-request
+    // timeouts, capped exponential backoff.
+    ++inj->counters().client_ops_started;
+    auto* op = new IoOp{&fs_,       node_,   file, is_write,
+                        context,    total_bytes, fault::Status::kOk,
+                        involved,   0,       std::move(done),
+                        {}};
+    op->shards.reserve(involved);
+    for (std::uint32_t s = 0; s < fs_.num_servers(); ++s) {
+      if (per_server[s].empty()) continue;
+      std::uint64_t run_bytes = 0;
+      for (const auto& r : per_server[s]) run_bytes += r.length;
+      IoOp::Shard sh;
+      sh.server = s;
+      sh.runs = std::move(per_server[s]);
+      sh.req_msg = 96 + 16 * sh.runs.size() + (is_write ? run_bytes : 0);
+      sh.reply_msg = is_write ? 64 : run_bytes + 64;
+      op->shards.push_back(std::move(sh));
+    }
+    // First attempts start only after every shard exists: start_attempt may
+    // index into op->shards from re-entered engine callbacks.
+    for (std::size_t i = 0; i < op->shards.size(); ++i) start_attempt(op, i);
+    return;
+  }
+
+  // Fault-free fast path: single fan-in, no timeout events, no control block.
+  auto* fan = fault::make_status_fanin(
+      involved, [done = std::move(done), total_bytes](fault::Status st) mutable {
+        done(total_bytes, st);
       });
   for (std::uint32_t s = 0; s < fs_.num_servers(); ++s) {
     if (per_server[s].empty()) continue;
@@ -84,8 +256,8 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
     auto& net = fs_.network();
     const net::NodeId srv_node = srv.node();
     const net::NodeId client_node = node_;
-    req.done = [&net, srv_node, client_node, reply_msg, fan] {
-      net.send(srv_node, client_node, reply_msg, [fan] { fan->complete(); });
+    req.done = [&net, srv_node, client_node, reply_msg, fan](fault::Status st) {
+      net.send(srv_node, client_node, reply_msg, [fan, st] { fan->complete(st); });
     };
     net.send(client_node, srv_node, req_msg,
              [&srv, req = std::move(req)]() mutable { srv.handle(std::move(req)); });

@@ -39,6 +39,11 @@ class FileSystem {
   net::Network& network() { return net_; }
   sim::Engine& engine() { return eng_; }
 
+  /// Arm fault injection: clients switch to the timeout/retry request path.
+  /// Null (the default) keeps the fan-in fast path.
+  void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
+  fault::FaultInjector* fault_injector() { return injector_; }
+
  private:
   sim::Engine& eng_;
   net::Network& net_;
@@ -47,7 +52,12 @@ class FileSystem {
   StripeLayout layout_;
   std::unordered_map<FileId, FileInfo> files_;
   FileId next_file_id_ = 1;
+  fault::FaultInjector* injector_ = nullptr;
 };
+
+/// Completion of one client I/O call: the bytes the call covered plus the
+/// worst per-server outcome (kOk always, unless fault injection is armed).
+using IoDoneFn = sim::UniqueFn<void(std::uint64_t, fault::Status)>;
 
 /// Client-side PFS access from one compute node.
 class Client {
@@ -59,10 +69,12 @@ class Client {
 
   /// List I/O: read or write `segments` of `file`. Segments are decomposed
   /// into per-server runs (order-preserving, contiguity-coalescing) and one
-  /// request message goes to each involved server. `done(bytes)` fires when
-  /// every server has replied.
+  /// request message goes to each involved server. `done(bytes, status)`
+  /// fires when every server has replied — or, under fault injection, when
+  /// every server has replied, failed definitively, or exhausted the retry
+  /// budget (per-request timeout, capped exponential backoff).
   void io(FileId file, const std::vector<Segment>& segments, bool is_write,
-          std::uint64_t context, sim::UniqueFn<void(std::uint64_t)> done);
+          std::uint64_t context, IoDoneFn done);
 
   net::NodeId node() const { return node_; }
   std::uint64_t calls() const { return calls_; }

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/injector.hpp"
+
 namespace dpar::pfs {
 
 namespace {
@@ -16,13 +18,28 @@ namespace {
 struct IoCtx {
   ServerIoRequest req;
   std::size_t outstanding;
+  /// Worst outcome across the request's runs.
+  fault::Status status = fault::Status::kOk;
+  /// Set only when fault injection is armed: the owning server and the crash
+  /// epoch the request was accepted in, so the reply can be squashed if the
+  /// server crashed while the disk work was in flight.
+  DataServer* srv = nullptr;
+  std::uint64_t epoch = 0;
 
   /// One run finished (cache hit or disk completion).
-  void complete_one() {
+  void complete_one(fault::Status st = fault::Status::kOk) {
+    status = fault::combine(status, st);
     if (--outstanding == 0) {
-      sim::UniqueFunction done = std::move(req.done);
+      ReplyFn done = std::move(req.done);
+      DataServer* s = srv;
+      const std::uint64_t e = epoch;
+      const fault::Status out = status;
       delete this;
-      if (done) done();
+      if (s) {
+        s->deliver_reply(std::move(done), out, e);
+      } else if (done) {
+        done(out);
+      }
     }
   }
 };
@@ -54,13 +71,52 @@ disk::BlkTrace& DataServer::trace() {
   return raid->member(0).trace();
 }
 
+void DataServer::set_fault_injector(fault::FaultInjector* inj) {
+  injector_ = inj;
+  dev_->set_fault_injector(inj, node_);
+}
+
+void DataServer::crash() {
+  if (down_) return;
+  down_ = true;
+  ++epoch_;
+  if (injector_) injector_->note_server_state(node_, true);
+}
+
+void DataServer::restart() {
+  if (!down_) return;
+  down_ = false;
+  if (injector_) injector_->note_server_state(node_, false);
+}
+
+void DataServer::deliver_reply(ReplyFn done, fault::Status st, std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    // The server crashed after accepting this request: its queued work is
+    // gone and the reply is never sent. The client's timeout fires instead.
+    if (injector_) ++injector_->counters().server_lost_completions;
+    return;
+  }
+  if (done) done(st);
+}
+
 void DataServer::handle(ServerIoRequest req) {
+  if (down_) {
+    // A dead server answers nothing: the request's callback is destroyed
+    // unfired and the client times out.
+    if (injector_) ++injector_->counters().server_refused_requests;
+    return;
+  }
   ++requests_;
-  const sim::Time cpu =
+  sim::Time cpu =
       params_.request_base_cost + params_.per_run_cost * static_cast<sim::Time>(req.runs.size());
   // Request handling passes through the server's service thread first, then
   // fans out to the disk.
   auto* ctx = new IoCtx{std::move(req), 0};
+  if (injector_) {
+    cpu += injector_->server_stall();
+    ctx->srv = this;
+    ctx->epoch = epoch_;
+  }
   service_.submit(cpu, [this, ctx] {
     auto it = extents_.find(ctx->req.file);
     if (it == extents_.end())
@@ -74,9 +130,8 @@ void DataServer::handle(ServerIoRequest req) {
     }
 
     if (ctx->req.runs.empty()) {
-      sim::UniqueFunction done = std::move(ctx->req.done);
-      delete ctx;
-      if (done) done();
+      ctx->outstanding = 1;
+      ctx->complete_one();
       return;
     }
     // The +1 keeps ctx alive through the loop even if every run is a cache
@@ -120,9 +175,11 @@ void DataServer::handle(ServerIoRequest req) {
       dr.is_write = ctx->req.is_write;
       dr.context = params_.single_disk_context ? 0 : ctx->req.context;
       const std::uint64_t local_offset = run.local_offset;
-      dr.done = [this, ctx, local_offset, length] {
-        if (cache_.enabled()) cache_.insert(ctx->req.file, local_offset, length);
-        ctx->complete_one();
+      dr.done = [this, ctx, local_offset, length](fault::Status st) {
+        // A failed run caches nothing: the sectors never produced data.
+        if (cache_.enabled() && fault::ok(st))
+          cache_.insert(ctx->req.file, local_offset, length);
+        ctx->complete_one(st);
       };
       batch.push_back(std::move(dr));
     }

@@ -8,13 +8,22 @@
 #include <vector>
 
 #include "disk/device.hpp"
+#include "fault/status.hpp"
 #include "net/network.hpp"
 #include "pfs/layout.hpp"
 #include "pfs/server_cache.hpp"
 #include "sim/func.hpp"
 #include "sim/resource.hpp"
 
+namespace dpar::fault {
+class FaultInjector;
+}
+
 namespace dpar::pfs {
+
+/// Server-side completion of one list-I/O request; carries the worst outcome
+/// across the request's runs.
+using ReplyFn = sim::UniqueFn<void(fault::Status)>;
 
 /// A list-I/O request as received by a data server: runs are in the file's
 /// server-local address space, already sorted by the client.
@@ -23,7 +32,7 @@ struct ServerIoRequest {
   bool is_write = false;
   std::uint64_t context = 0;  ///< I/O context for the disk scheduler
   std::vector<ServerRun> runs;
-  sim::UniqueFunction done;  ///< invoked at the server when disk I/O completes
+  ReplyFn done;  ///< invoked at the server when disk I/O completes
 
   std::uint64_t total_bytes() const {
     std::uint64_t sum = 0;
@@ -63,6 +72,19 @@ class DataServer {
   /// Handle a request that has already been delivered to this node.
   void handle(ServerIoRequest req);
 
+  // ---- Fault injection ----
+  /// Arm fault injection for this server and its block device.
+  void set_fault_injector(fault::FaultInjector* inj);
+  /// Crash: refuse new requests and lose all accepted-but-unreplied work
+  /// (their replies are squashed; clients find out by timing out).
+  void crash();
+  /// Restart after a crash with an empty queue.
+  void restart();
+  bool is_down() const { return down_; }
+  /// Internal plumbing: deliver a finished request's reply, or squash it when
+  /// the server crashed (epoch changed) since the request was accepted.
+  void deliver_reply(ReplyFn done, fault::Status st, std::uint64_t epoch);
+
   net::NodeId node() const { return node_; }
   disk::BlockDevice& device() { return *dev_; }
   ServerCache& page_cache() { return cache_; }
@@ -87,6 +109,12 @@ class DataServer {
   ServerParams params_;
   ServerCache cache_;
   sim::FifoResource service_;
+  fault::FaultInjector* injector_ = nullptr;
+  bool down_ = false;
+  /// Bumped on every crash; requests remember the epoch they were accepted in
+  /// and replies from a dead epoch are squashed (queue loss without touching
+  /// the disk scheduler's state).
+  std::uint64_t epoch_ = 0;
   std::unordered_map<FileId, Extent> extents_;
   std::uint64_t next_free_sector_ = 2048;  ///< leave a small metadata region
   std::uint64_t gap_bytes_ = 1ull << 20;

@@ -263,7 +263,7 @@ TEST(DiskDevice, ServesSubmittedRequestsAndTraces) {
   int completed = 0;
   for (std::uint64_t i = 0; i < 10; ++i) {
     Request r = make_req(i, i * 1000, 32, i % 3);
-    r.done = [&completed] { ++completed; };
+    r.done = [&completed](fault::Status) { ++completed; };
     dev.submit(std::move(r));
   }
   eng.run();
@@ -318,7 +318,7 @@ TEST(Raid0Device, SplitsAndCompletesOnce) {
                    /*chunk_sectors=*/128);
   int completed = 0;
   Request r = make_req(1, 100, 300);  // spans chunks 0,1,2 -> both members
-  r.done = [&completed] { ++completed; };
+  r.done = [&completed](fault::Status) { ++completed; };
   raid.submit(std::move(r));
   eng.run();
   EXPECT_EQ(completed, 1);
@@ -334,7 +334,7 @@ TEST(Raid0Device, SequentialStreamUsesBothMembers) {
   int completed = 0;
   for (std::uint64_t i = 0; i < 16; ++i) {
     Request r = make_req(i, i * 128, 128);
-    r.done = [&completed] { ++completed; };
+    r.done = [&completed](fault::Status) { ++completed; };
     raid.submit(std::move(r));
   }
   eng.run();

@@ -9,10 +9,12 @@
 
 #include "cache/global_cache.hpp"
 #include "disk/model.hpp"
+#include "harness/testbed.hpp"
 #include "net/network.hpp"
 #include "pfs/layout.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "wl/workloads.hpp"
 
 namespace dpar {
 namespace {
@@ -165,6 +167,47 @@ INSTANTIATE_TEST_SUITE_P(
       return std::to_string(static_cast<int>(std::get<0>(info.param))) + "rpm_" +
              std::to_string(static_cast<int>(std::get<1>(info.param))) + "mbs";
     });
+
+TEST(FuzzFaults, RandomTransientPlansNeverHangOrLeakRequests) {
+  // Randomized transient fault plans (rates kept below the level where
+  // permanent failure is possible): every run must complete all jobs, leave
+  // no in-flight client requests, and drain the event queue. Testbed::run
+  // itself throws if the queue drains with jobs unfinished, and an internal
+  // event cap turns a livelock into a loud failure instead of a hang.
+  sim::Rng rng(0xfa57);
+  for (int round = 0; round < 8; ++round) {
+    harness::TestbedConfig cfg;
+    cfg.data_servers = 2 + static_cast<std::uint32_t>(rng.uniform(2));
+    cfg.compute_nodes = 1 + static_cast<std::uint32_t>(rng.uniform(1));
+    cfg.cores_per_node = 8;
+    cfg.keep_traces = false;
+    cfg.fault.seed = rng.uniform(UINT32_MAX);
+    cfg.fault.disk.media_error_rate = 0.05 * rng.chance(0.5);
+    cfg.fault.disk.stall_rate = 0.1 * rng.chance(0.5);
+    cfg.fault.net.drop_rate = 0.02 + 0.04 * rng.chance(0.5);
+    cfg.fault.net.delay_rate = 0.1 * rng.chance(0.5);
+    cfg.fault.server.stall_rate = 0.05 * rng.chance(0.5);
+    harness::Testbed tb(cfg);
+    wl::DemoConfig dc;
+    dc.file = tb.create_file("f", 2 << 20);
+    dc.file_size = 2 << 20;
+    dc.segment_size = 32 * 1024;
+    const bool dualpar = rng.chance(0.5);
+    auto& job = dualpar
+                    ? tb.add_job("j", 2, tb.dualpar(),
+                                 [dc](std::uint32_t) { return wl::make_demo(dc); },
+                                 dualpar::Policy::kForcedDataDriven)
+                    : tb.add_job("j", 2, tb.vanilla(),
+                                 [dc](std::uint32_t) { return wl::make_demo(dc); },
+                                 dualpar::Policy::kForcedNormal);
+    ASSERT_NO_THROW(tb.run(50'000'000)) << "round " << round;
+    EXPECT_TRUE(job.finished()) << "round " << round;
+    EXPECT_TRUE(tb.engine().empty()) << "round " << round;
+    const auto& c = tb.fault_injector()->counters();
+    EXPECT_EQ(c.client_ops_started, c.client_ops_finished)
+        << "round " << round << ": leaked in-flight requests";
+  }
+}
 
 TEST(FuzzStripeShare, SharesAlwaysSumToFileSize) {
   sim::Rng rng(17);

@@ -108,7 +108,7 @@ TEST_F(PfsFixture, ReadCompletesWithByteCount) {
   const FileId f = fs->create("a", 8 << 20);
   std::uint64_t got = 0;
   client->io(f, {Segment{0, 1 << 20}}, /*is_write=*/false, 1,
-             [&](std::uint64_t b) { got = b; });
+             [&](std::uint64_t b, fault::Status) { got = b; });
   eng.run();
   EXPECT_EQ(got, 1u << 20);
   // 1 MB over 3 servers with 64 KB stripes: coalesced into one run each.
@@ -121,7 +121,7 @@ TEST_F(PfsFixture, WriteReachesAllServers) {
   const FileId f = fs->create("a", 8 << 20);
   std::uint64_t got = 0;
   client->io(f, {Segment{0, 192 * 1024}}, /*is_write=*/true, 1,
-             [&](std::uint64_t b) { got = b; });
+             [&](std::uint64_t b, fault::Status) { got = b; });
   eng.run();
   EXPECT_EQ(got, 192u * 1024);
   for (auto& s : servers) EXPECT_EQ(s->bytes_written(), 64u * 1024);
@@ -133,7 +133,7 @@ TEST_F(PfsFixture, MultiSegmentListIo) {
   for (int i = 0; i < 16; ++i)
     segs.push_back(Segment{static_cast<std::uint64_t>(i) * 256 * 1024, 4096});
   std::uint64_t got = 0;
-  client->io(f, segs, false, 1, [&](std::uint64_t b) { got = b; });
+  client->io(f, segs, false, 1, [&](std::uint64_t b, fault::Status) { got = b; });
   eng.run();
   EXPECT_EQ(got, 16u * 4096);
 }
@@ -141,7 +141,7 @@ TEST_F(PfsFixture, MultiSegmentListIo) {
 TEST_F(PfsFixture, EmptySegmentsCompleteImmediately) {
   const FileId f = fs->create("a", 1 << 20);
   bool called = false;
-  client->io(f, {}, false, 1, [&](std::uint64_t b) {
+  client->io(f, {}, false, 1, [&](std::uint64_t b, fault::Status) {
     called = true;
     EXPECT_EQ(b, 0u);
   });
@@ -154,13 +154,13 @@ TEST_F(PfsFixture, SequentialWholeFileReadIsContiguousOnDisk) {
   // Read the whole file in 64 KB calls; each server must see ascending LBNs
   // with no long seeks after the first.
   std::uint64_t off = 0;
-  std::function<void(std::uint64_t)> step = [&](std::uint64_t) {
+  std::function<void(std::uint64_t, fault::Status)> step = [&](std::uint64_t, fault::Status) {
     if (off >= (16u << 20)) return;
     const Segment seg{off, 64 * 1024};
     off += 64 * 1024;
     client->io(f, {seg}, false, 1, step);
   };
-  step(0);
+  step(0, fault::Status::kOk);
   eng.run();
   for (auto& s : servers) {
     const auto& evs = s->trace().events();
@@ -176,10 +176,10 @@ TEST_F(PfsFixture, DistinctFilesOccupyDistantRegions) {
   const FileId a = fs->create("a", 64 << 20);
   const FileId b = fs->create("b", 64 << 20);
   std::uint64_t lba_a = 0, lba_b = 0;
-  client->io(a, {Segment{0, 4096}}, false, 1, [](std::uint64_t) {});
+  client->io(a, {Segment{0, 4096}}, false, 1, [](std::uint64_t, fault::Status) {});
   eng.run();
   lba_a = servers[0]->trace().events().back().lba;
-  client->io(b, {Segment{0, 4096}}, false, 1, [](std::uint64_t) {});
+  client->io(b, {Segment{0, 4096}}, false, 1, [](std::uint64_t, fault::Status) {});
   eng.run();
   lba_b = servers[0]->trace().events().back().lba;
   // b's extent starts beyond a's share plus the inter-file gap.

@@ -140,5 +140,87 @@ TEST(Boundaries, HugeQuotaDoesNotOverrun) {
   EXPECT_EQ(tb.dualpar().stats().cycles, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Degraded-mode DualPar: a data server crashes mid-run and restarts.
+// ---------------------------------------------------------------------------
+
+namespace crashdemo {
+
+struct Out {
+  sim::Time completion = 0;
+  std::uint64_t bytes = 0;
+  bool saw_degraded_mid_outage = false;
+  bool degraded_at_end = false;
+  fault::Counters counters;
+};
+
+/// Demo-read workload, optionally with a mid-run crash+restart of server 1.
+/// `crash_at` of 0 means no crash: the plan stays inert and the run takes the
+/// fault-free fast path, which is exactly the baseline we compare against.
+Out run(bool use_dualpar, sim::Time crash_at, sim::Time restart_at) {
+  harness::TestbedConfig cfg;
+  cfg.data_servers = 3;
+  cfg.compute_nodes = 2;
+  cfg.cores_per_node = 8;
+  cfg.keep_traces = false;
+  if (crash_at > 0) cfg.fault.server.crashes.push_back({1, crash_at, restart_at});
+  harness::Testbed tb(cfg);
+  wl::DemoConfig dc;
+  dc.file = tb.create_file("f", 8 << 20);
+  dc.file_size = 8 << 20;
+  dc.segment_size = 64 * 1024;
+  auto& job = use_dualpar
+                  ? tb.add_job("j", 4, tb.dualpar(),
+                               [dc](std::uint32_t) { return wl::make_demo(dc); },
+                               dualpar::Policy::kForcedDataDriven)
+                  : tb.add_job("j", 4, tb.vanilla(),
+                               [dc](std::uint32_t) { return wl::make_demo(dc); },
+                               dualpar::Policy::kForcedNormal);
+  Out out;
+  if (crash_at > 0) {
+    // Probe the EMC in the middle of the outage: the scheduler must have
+    // fallen back to vanilla independent execution by then.
+    tb.engine().at((crash_at + restart_at) / 2, [&tb, &out] {
+      out.saw_degraded_mid_outage = tb.emc().degraded();
+    });
+  }
+  tb.run();
+  out.completion = job.completion_time();
+  out.bytes = job.total_bytes();
+  out.degraded_at_end = tb.emc().degraded();
+  if (tb.fault_injector()) out.counters = tb.fault_injector()->counters();
+  return out;
+}
+
+}  // namespace crashdemo
+
+TEST(CrashRecovery, VanillaCompletesThroughMidRunCrashAndRestart) {
+  const crashdemo::Out clean = crashdemo::run(false, 0, 0);
+  const sim::Time at = clean.completion / 3;
+  const crashdemo::Out r = crashdemo::run(false, at, at + sim::msec(120));
+  EXPECT_EQ(r.bytes, clean.bytes);
+  EXPECT_EQ(r.counters.server_crashes, 1u);
+  EXPECT_EQ(r.counters.server_restarts, 1u);
+  EXPECT_GT(r.counters.client_timeouts, 0u);
+  EXPECT_EQ(r.counters.client_ops_started, r.counters.client_ops_finished);
+  // The outage cost time but never data.
+  EXPECT_GT(r.completion, clean.completion);
+}
+
+TEST(CrashRecovery, DualParFallsBackDuringOutageAndReengagesAfter) {
+  const crashdemo::Out clean = crashdemo::run(true, 0, 0);
+  const sim::Time at = clean.completion / 3;
+  const crashdemo::Out r = crashdemo::run(true, at, at + sim::msec(120));
+  // Correctness through the outage: every byte delivered, no leaked requests.
+  EXPECT_EQ(r.bytes, clean.bytes);
+  EXPECT_EQ(r.counters.client_ops_started, r.counters.client_ops_finished);
+  // Degraded-mode state machine: entered on the crash, felt mid-outage,
+  // exited after the restart, normal again by the end of the run.
+  EXPECT_TRUE(r.saw_degraded_mid_outage);
+  EXPECT_GE(r.counters.emc_degraded_entries, 1u);
+  EXPECT_GE(r.counters.emc_degraded_exits, 1u);
+  EXPECT_FALSE(r.degraded_at_end);
+}
+
 }  // namespace
 }  // namespace dpar

@@ -100,14 +100,14 @@ TEST(DiskDevice, AnticipationWaitInterruptedByNewArrival) {
   DiskDevice dev(eng, p, make_cfq_scheduler());
   std::vector<Time> completions;
   Request r1 = req(1, 1000, 8, /*ctx=*/5);
-  r1.done = [&] { completions.push_back(eng.now()); };
+  r1.done = [&](fault::Status) { completions.push_back(eng.now()); };
   dev.submit(std::move(r1));
   eng.run();  // served; CFQ may now anticipate context 5
   const Time t_first = eng.now();
   // A same-context request arrives during the anticipation window: it must
   // be served promptly (not after the 8 ms window).
   Request r2 = req(2, 1008, 8, /*ctx=*/5);
-  r2.done = [&] { completions.push_back(eng.now()); };
+  r2.done = [&](fault::Status) { completions.push_back(eng.now()); };
   eng.at(t_first + sim::msec(1), [&dev, &r2]() mutable { dev.submit(std::move(r2)); });
   eng.run();
   ASSERT_EQ(completions.size(), 2u);
@@ -149,7 +149,7 @@ TEST(Raid0Device, SingleSectorRequests) {
   int done = 0;
   for (std::uint64_t i = 0; i < 4; ++i) {
     Request r = req(i, i * 128, 1);  // one sector in each chunk
-    r.done = [&done] { ++done; };
+    r.done = [&done](fault::Status) { ++done; };
     raid.submit(std::move(r));
   }
   eng.run();

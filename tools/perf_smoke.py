@@ -39,6 +39,25 @@ def load_micro(path):
     return {e["label"]: float(e["value"]) for e in micro["experiments"]}
 
 
+def report_faults(path):
+    """Warn-only tracking of the fault sweep: print DualPar-vs-vanilla
+    throughput per fault level so trends are visible in CI logs, but never
+    gate on them -- faulted throughput is dominated by the injected plan, not
+    by code performance."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        faults = doc.get("benches", {}).get("bench_faults")
+    except (OSError, ValueError):
+        faults = None
+    print("== bench_faults throughput (MB/s; tracked, never gated) ==")
+    if faults is None:
+        print("  (no bench_faults section in this run)")
+        return
+    for e in faults["experiments"]:
+        print(f"  {e['label']:<20} {float(e['value']):10.2f}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", default="BENCH_sim_core.json",
@@ -80,6 +99,8 @@ def main():
         else:
             verdict = "tracked, not gated"
         print(f"  {policy:<13} {r:6.2f}x  {verdict}")
+
+    report_faults(args.current)
 
     print("== absolute events/sec vs checked-in baseline ==")
     for label in sorted(baseline):
