@@ -408,6 +408,19 @@ void BM_StripeDecompose(benchmark::State& state) {
 }
 BENCHMARK(BM_StripeDecompose);
 
+/// The frozen per-chunk reference loop on the same segment, for a direct
+/// closed-form-vs-loop comparison in one report.
+void BM_StripeDecomposeRef(benchmark::State& state) {
+  pfs::StripeLayout layout{64 * 1024, 9};
+  layout.reference_decompose = true;
+  for (auto _ : state) {
+    std::vector<std::vector<pfs::ServerRun>> per_server;
+    pfs::decompose_segment(layout, pfs::Segment{12345, 8 << 20}, per_server);
+    benchmark::DoNotOptimize(per_server.size());
+  }
+}
+BENCHMARK(BM_StripeDecomposeRef);
+
 /// End-to-end: how much simulated work one wall-clock iteration buys.
 void BM_EndToEndMpiIoTest(benchmark::State& state) {
   for (auto _ : state) {

@@ -54,6 +54,27 @@ std::uint64_t scale_divisor(int argc, char** argv) {
   return 16;
 }
 
+bool label_selected(const std::string& label) {
+  const char* f = std::getenv("DPAR_BENCH_FILTER");
+  if (f == nullptr || *f == '\0') return true;
+  return label.find(f) != std::string::npos;
+}
+
+std::uint64_t peak_rss_bytes() {
+  std::FILE* fp = std::fopen("/proc/self/status", "r");
+  if (fp == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, fp) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(fp);
+  return kb * 1024;
+}
+
 std::string write_perf_json(const std::string& bench_name, ExperimentPool& pool) {
   const std::vector<ExperimentRecord>& records = pool.wait_all();
   std::vector<metrics::PerfEntry> entries;

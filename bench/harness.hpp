@@ -31,6 +31,16 @@ harness::TestbedConfig paper_config();
 /// Data-size divisor: 1 with --full, else DPAR_SCALE env (default 16).
 std::uint64_t scale_divisor(int argc, char** argv);
 
+/// Substring label filter from the DPAR_BENCH_FILTER env var: true when the
+/// variable is unset/empty or `label` contains it. Sweep benches consult
+/// this to run a subset of their experiments; filtering changes stdout, so
+/// runs meant for byte-comparison leave the variable unset.
+bool label_selected(const std::string& label);
+
+/// Peak resident set size of this process (VmHWM from /proc/self/status),
+/// in bytes; 0 when unavailable (non-Linux).
+std::uint64_t peak_rss_bytes();
+
 /// Wait for every experiment in `pool` and merge this bench's perf section
 /// (per-experiment wall time + events, suite totals, events/sec) into the
 /// shared perf report. Path from the DPAR_BENCH_JSON env var, default
@@ -70,6 +80,12 @@ class PerfLog {
   void finish(const Timer& t, double value, std::uint64_t events) {
     const double wall_s = std::chrono::duration<double>(Clock::now() - t.start_).count();
     entries_.push_back(metrics::PerfEntry{t.label_, value, events, wall_s});
+  }
+
+  /// Append this log's entries to `out` (benches that combine pool records
+  /// with inline timings into one section).
+  void append_to(std::vector<metrics::PerfEntry>& out) const {
+    out.insert(out.end(), entries_.begin(), entries_.end());
   }
 
   /// Merge this bench's section into the shared report; see write_perf_json.

@@ -83,7 +83,7 @@ void GlobalCache::insert(pfs::FileId file, const pfs::Segment& seg, std::uint64_
              m.prefetched = prefetched;
              m.referenced = false;
            }
-           m.valid.add(within, within + take);
+           credit_valid(m, m.valid.add(within, within + take));
            m.last_ref = eng_.now();
            if (params_.capacity_per_node > 0) enforce_capacity(m.home);
          });
@@ -98,7 +98,8 @@ void GlobalCache::write(pfs::FileId file, const pfs::Segment& seg, std::uint64_t
            ChunkMeta& m = chunks_[key];
            if (!existed) m.home = resolve_home(key, home_hint);
            if (m.valid.empty()) m.owner = owner;
-           m.valid.add(within, within + take);
+           credit_valid(m, m.valid.add(within, within + take));
+           if (m.dirty.empty()) dirty_chunks_[file].insert(index);
            m.dirty.add(within, within + take);
            m.last_ref = eng_.now();
            m.referenced = true;
@@ -124,18 +125,24 @@ std::uint64_t GlobalCache::reference(pfs::FileId file, const pfs::Segment& seg) 
 }
 
 std::vector<pfs::Segment> GlobalCache::dirty_segments(pfs::FileId file) const {
+  // The per-file index walks only the chunks that are actually dirty, in
+  // ascending chunk order; within a chunk the ranges are already sorted, so
+  // the concatenation is sorted and coalesces exactly like the offset-keyed
+  // merge map this replaces.
   std::vector<pfs::Segment> out;
-  std::map<std::uint64_t, std::uint64_t> merged;  // file offset -> end
-  for (const auto& [key, meta] : chunks_) {
-    if (key.file != file || meta.dirty.empty()) continue;
-    const std::uint64_t base = key.index * params_.chunk_bytes;
-    for (const auto& r : meta.dirty.ranges()) merged[base + r.begin] = base + r.end;
-  }
-  for (const auto& [b, e] : merged) {
-    if (!out.empty() && out.back().end() == b) {
-      out.back().length += e - b;
-    } else {
-      out.push_back(pfs::Segment{b, e - b});
+  auto f = dirty_chunks_.find(file);
+  if (f == dirty_chunks_.end()) return out;
+  for (std::uint64_t index : f->second) {
+    auto it = chunks_.find(ChunkKey{file, index});
+    if (it == chunks_.end()) continue;
+    const std::uint64_t base = index * params_.chunk_bytes;
+    for (const auto& r : it->second.dirty.ranges()) {
+      const std::uint64_t b = base + r.begin;
+      if (!out.empty() && out.back().end() == b) {
+        out.back().length += r.length();
+      } else {
+        out.push_back(pfs::Segment{b, r.length()});
+      }
     }
   }
   return out;
@@ -143,10 +150,9 @@ std::vector<pfs::Segment> GlobalCache::dirty_segments(pfs::FileId file) const {
 
 std::vector<std::pair<pfs::FileId, pfs::Segment>> GlobalCache::all_dirty_segments() const {
   std::vector<pfs::FileId> files;
-  for (const auto& [key, meta] : chunks_)
-    if (!meta.dirty.empty()) files.push_back(key.file);
+  files.reserve(dirty_chunks_.size());
+  for (const auto& [f, idx] : dirty_chunks_) files.push_back(f);
   std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
   std::vector<std::pair<pfs::FileId, pfs::Segment>> out;
   for (pfs::FileId f : files)
     for (const auto& seg : dirty_segments(f)) out.emplace_back(f, seg);
@@ -157,15 +163,11 @@ void GlobalCache::clear_dirty(pfs::FileId file, const pfs::Segment& seg) {
   slices(params_.chunk_bytes, seg,
          [&](std::uint64_t index, std::uint64_t within, std::uint64_t take) {
            auto it = chunks_.find(ChunkKey{file, index});
-           if (it != chunks_.end()) it->second.dirty.remove(within, within + take);
+           if (it == chunks_.end()) return;
+           if (it->second.dirty.remove(within, within + take) > 0 &&
+               it->second.dirty.empty())
+             unindex_dirty(file, index);
          });
-}
-
-std::uint64_t GlobalCache::owner_bytes(std::uint64_t owner) const {
-  std::uint64_t sum = 0;
-  for (const auto& [key, meta] : chunks_)
-    if (meta.owner == owner) sum += meta.valid.total_bytes();
-  return sum;
 }
 
 std::uint64_t GlobalCache::invalidate_server(const pfs::StripeLayout& layout,
@@ -188,14 +190,14 @@ std::uint64_t GlobalCache::invalidate_server(const pfs::StripeLayout& layout,
       if (!meta.valid.intersects(lo, hi)) continue;
       // Clean bytes in [lo, hi) = valid minus dirty: remove the whole window,
       // then restore the dirty intersection.
-      std::uint64_t before = meta.valid.total_bytes();
-      meta.valid.remove(lo, hi);
+      std::uint64_t lost = meta.valid.remove(lo, hi);
       for (const auto& d : meta.dirty.ranges()) {
         const std::uint64_t dlo = std::max(d.begin, lo);
         const std::uint64_t dhi = std::min(d.end, hi);
-        if (dlo < dhi) meta.valid.add(dlo, dhi);
+        if (dlo < dhi) lost -= meta.valid.add(dlo, dhi);
       }
-      invalidated += before - meta.valid.total_bytes();
+      invalidated += lost;
+      debit_valid(meta, lost);
     }
     if (meta.valid.empty() && meta.dirty.empty()) {
       it = chunks_.erase(it);
@@ -210,7 +212,9 @@ std::uint64_t GlobalCache::evict_idle(sim::Time now) {
   std::uint64_t evicted = 0;
   for (auto it = chunks_.begin(); it != chunks_.end();) {
     if (it->second.dirty.empty() && now - it->second.last_ref >= params_.idle_eviction) {
-      evicted += it->second.valid.total_bytes();
+      const std::uint64_t bytes = it->second.valid.total_bytes();
+      evicted += bytes;
+      debit_valid(it->second, bytes);
       it = chunks_.erase(it);
     } else {
       ++it;
@@ -222,6 +226,7 @@ std::uint64_t GlobalCache::evict_idle(sim::Time now) {
 void GlobalCache::drop_clean(std::uint64_t owner) {
   for (auto it = chunks_.begin(); it != chunks_.end();) {
     if (it->second.owner == owner && it->second.dirty.empty()) {
+      debit_valid(it->second, it->second.valid.total_bytes());
       it = chunks_.erase(it);
     } else {
       ++it;
@@ -258,17 +263,12 @@ void GlobalCache::transfer(pfs::FileId file, const pfs::Segment& seg,
   }
 }
 
-std::uint64_t GlobalCache::node_bytes(net::NodeId node) const {
-  std::uint64_t sum = 0;
-  for (const auto& [key, meta] : chunks_)
-    if (meta.home == node) sum += meta.valid.total_bytes();
-  return sum;
-}
-
 void GlobalCache::enforce_capacity(net::NodeId node) {
-  // Scan-based LRU: cache populations in the simulation are small (a few
-  // thousand chunks), so a scan per eviction round keeps the structure
-  // simple. Dirty and just-touched chunks are spared.
+  // The usage check is O(1) via the per-node counters (it runs on every
+  // capacity-bounded insert slice); the victim scan below stays the full
+  // chunk-table walk, preserving the exact first-smallest-last_ref
+  // tie-breaking of the original — eviction order is part of the
+  // deterministic output. Dirty and just-touched chunks are spared.
   std::uint64_t used = node_bytes(node);
   while (used > params_.capacity_per_node) {
     const ChunkKey* victim = nullptr;
@@ -283,15 +283,10 @@ void GlobalCache::enforce_capacity(net::NodeId node) {
     if (victim == nullptr) return;  // everything left is dirty
     auto it = chunks_.find(*victim);
     used -= it->second.valid.total_bytes();
+    debit_valid(it->second, it->second.valid.total_bytes());
     chunks_.erase(it);
     ++capacity_evictions_;
   }
-}
-
-std::uint64_t GlobalCache::total_valid_bytes() const {
-  std::uint64_t sum = 0;
-  for (const auto& [key, meta] : chunks_) sum += meta.valid.total_bytes();
-  return sum;
 }
 
 std::uint64_t GlobalCache::unused_prefetched_bytes(

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -91,7 +92,11 @@ class GlobalCache {
   void clear_dirty(pfs::FileId file, const pfs::Segment& seg);
 
   /// Bytes currently charged to `owner` (valid bytes of chunks it owns).
-  std::uint64_t owner_bytes(std::uint64_t owner) const;
+  /// O(1): served from the usage counters.
+  std::uint64_t owner_bytes(std::uint64_t owner) const {
+    auto it = owner_valid_.find(owner);
+    return it != owner_valid_.end() ? it->second : 0;
+  }
 
   /// Crash invalidation: drop every valid-but-clean byte range that was
   /// sourced from `server`'s stripes (per `layout`). Clean cached data came
@@ -125,11 +130,14 @@ class GlobalCache {
   /// Disable placement hints entirely (ablation: the paper's round-robin).
   void set_round_robin_only(bool v) { round_robin_only_ = v; }
   const CacheParams& params() const { return params_; }
-  std::uint64_t total_valid_bytes() const;
+  std::uint64_t total_valid_bytes() const { return total_valid_; }
   std::uint64_t chunk_count() const { return chunks_.size(); }
   std::uint64_t capacity_evictions() const { return capacity_evictions_; }
-  /// Valid bytes homed on `node`.
-  std::uint64_t node_bytes(net::NodeId node) const;
+  /// Valid bytes homed on `node`. O(1): served from the usage counters.
+  std::uint64_t node_bytes(net::NodeId node) const {
+    auto it = node_valid_.find(node);
+    return it != node_valid_.end() ? it->second : 0;
+  }
 
   /// Mis-prefetch accounting for one prefetch round: of the chunks in
   /// `keys`, how many bytes are still prefetched-and-never-referenced.
@@ -142,6 +150,24 @@ class GlobalCache {
   }
   /// Evict the node's LRU clean chunks until it fits the per-node capacity.
   void enforce_capacity(net::NodeId node);
+  /// Book a valid-byte delta for a chunk into the usage counters.
+  void credit_valid(const ChunkMeta& m, std::uint64_t bytes) {
+    total_valid_ += bytes;
+    node_valid_[m.home] += bytes;
+    owner_valid_[m.owner] += bytes;
+  }
+  void debit_valid(const ChunkMeta& m, std::uint64_t bytes) {
+    total_valid_ -= bytes;
+    node_valid_[m.home] -= bytes;
+    owner_valid_[m.owner] -= bytes;
+  }
+  /// A chunk's dirty set just became empty: drop it from the per-file index.
+  void unindex_dirty(pfs::FileId file, std::uint64_t index) {
+    auto f = dirty_chunks_.find(file);
+    if (f == dirty_chunks_.end()) return;
+    f->second.erase(index);
+    if (f->second.empty()) dirty_chunks_.erase(f);
+  }
 
   sim::Engine& eng_;
   net::Network& net_;
@@ -150,6 +176,14 @@ class GlobalCache {
   bool round_robin_only_ = false;
   std::uint64_t capacity_evictions_ = 0;
   std::unordered_map<ChunkKey, ChunkMeta, ChunkKeyHash> chunks_;
+  // Scale indexes, kept consistent with chunks_ on every mutation. At tens
+  // of thousands of cached chunks the former full-table scans behind
+  // dirty_segments / owner_bytes / node_bytes / total_valid_bytes (the
+  // latter two sit on every capacity-bounded insert) dominated run time.
+  std::unordered_map<pfs::FileId, std::set<std::uint64_t>> dirty_chunks_;
+  std::unordered_map<net::NodeId, std::uint64_t> node_valid_;
+  std::unordered_map<std::uint64_t, std::uint64_t> owner_valid_;
+  std::uint64_t total_valid_ = 0;
 };
 
 }  // namespace dpar::cache

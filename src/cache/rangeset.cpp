@@ -32,16 +32,19 @@ std::size_t RangeSet::lower_bound_end(std::uint64_t x) const {
   return base;
 }
 
-void RangeSet::add(std::uint64_t begin, std::uint64_t end) {
-  if (begin >= end) return;
+std::uint64_t RangeSet::add(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return 0;
   // Fast path: appending at or past the tail, the common sequential pattern.
   if (ranges_.empty() || begin > ranges_.back().end) {
     ranges_.push_back(ByteRange{begin, end});
-    return;
+    total_ += end - begin;
+    return end - begin;
   }
   if (begin == ranges_.back().end) {
-    ranges_.back().end = std::max(ranges_.back().end, end);
-    return;
+    const std::uint64_t grown = std::max(ranges_.back().end, end) - ranges_.back().end;
+    ranges_.back().end += grown;
+    total_ += grown;
+    return grown;
   }
   // Merge window: every range overlapping or adjacent to [begin, end).
   const std::size_t lo = lower_bound_end(begin);   // first with r.end >= begin
@@ -49,21 +52,30 @@ void RangeSet::add(std::uint64_t begin, std::uint64_t end) {
   if (lo >= hi) {
     ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(lo),
                    ByteRange{begin, end});
-    return;
+    total_ += end - begin;
+    return end - begin;
   }
+  std::uint64_t window_bytes = 0;
+  for (std::size_t i = lo; i < hi; ++i) window_bytes += ranges_[i].length();
   const std::uint64_t merged_begin = std::min(begin, ranges_[lo].begin);
   const std::uint64_t merged_end = std::max(end, ranges_[hi - 1].end);
   ranges_[lo] = ByteRange{merged_begin, merged_end};
   ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
                 ranges_.begin() + static_cast<std::ptrdiff_t>(hi));
+  const std::uint64_t grown = (merged_end - merged_begin) - window_bytes;
+  total_ += grown;
+  return grown;
 }
 
-void RangeSet::remove(std::uint64_t begin, std::uint64_t end) {
-  if (begin >= end) return;
+std::uint64_t RangeSet::remove(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return 0;
   // Affected window: ranges with r.end > begin and r.begin < end.
   const std::size_t lo = lower_bound_end(begin + 1);  // first with r.end > begin
   const std::size_t hi = upper_bound_begin(end - 1);  // first with r.begin >= end
-  if (lo >= hi) return;
+  if (lo >= hi) return 0;
+  std::uint64_t removed = 0;
+  for (std::size_t i = lo; i < hi; ++i)
+    removed += std::min(ranges_[i].end, end) - std::max(ranges_[i].begin, begin);
   const ByteRange left{ranges_[lo].begin, begin};    // survives if non-empty
   const ByteRange right{end, ranges_[hi - 1].end};   // survives if non-empty
   std::size_t keep = 0;
@@ -81,6 +93,8 @@ void RangeSet::remove(std::uint64_t begin, std::uint64_t end) {
     ranges_[lo] = left;
     ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(lo) + 1, right);
   }
+  total_ -= removed;
+  return removed;
 }
 
 bool RangeSet::covers(std::uint64_t begin, std::uint64_t end) const {
@@ -109,12 +123,6 @@ std::vector<ByteRange> RangeSet::gaps_within(std::uint64_t begin, std::uint64_t 
   }
   if (cursor < end) gaps.push_back(ByteRange{cursor, end});
   return gaps;
-}
-
-std::uint64_t RangeSet::total_bytes() const {
-  std::uint64_t sum = 0;
-  for (const ByteRange& r : ranges_) sum += r.length();
-  return sum;
 }
 
 }  // namespace dpar::cache

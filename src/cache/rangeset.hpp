@@ -23,10 +23,12 @@ struct ByteRange {
 class RangeSet {
  public:
   /// Insert [begin, end), merging with any overlapping/adjacent ranges.
-  void add(std::uint64_t begin, std::uint64_t end);
+  /// Returns the number of bytes newly covered (0 if already present).
+  std::uint64_t add(std::uint64_t begin, std::uint64_t end);
 
   /// Remove [begin, end) from the set (splitting ranges as needed).
-  void remove(std::uint64_t begin, std::uint64_t end);
+  /// Returns the number of bytes actually removed (0 if none were covered).
+  std::uint64_t remove(std::uint64_t begin, std::uint64_t end);
 
   /// True when [begin, end) is fully covered.
   bool covers(std::uint64_t begin, std::uint64_t end) const;
@@ -37,10 +39,14 @@ class RangeSet {
   /// Sub-ranges of [begin, end) NOT covered by the set (the holes).
   std::vector<ByteRange> gaps_within(std::uint64_t begin, std::uint64_t end) const;
 
-  std::uint64_t total_bytes() const;
+  /// O(1): maintained incrementally by add/remove.
+  std::uint64_t total_bytes() const { return total_; }
   bool empty() const { return ranges_.empty(); }
-  std::vector<ByteRange> ranges() const { return ranges_; }
-  void clear() { ranges_.clear(); }
+  const std::vector<ByteRange>& ranges() const { return ranges_; }
+  void clear() {
+    ranges_.clear();
+    total_ = 0;
+  }
 
  private:
   /// First index whose range begins after `x` (branchless binary search).
@@ -51,6 +57,10 @@ class RangeSet {
   /// Invariant: sorted by begin, pairwise disjoint and non-adjacent
   /// (r[i].end < r[i+1].begin), every range non-empty.
   std::vector<ByteRange> ranges_;
+  /// Invariant: sum of all range lengths. The add/remove byte deltas feed
+  /// the cache's per-node/per-owner usage counters, which replaced full
+  /// chunk-table scans.
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace dpar::cache

@@ -31,13 +31,14 @@ void DualParDriver::note_batch_status(fault::Status st) {
 }
 
 DualParDriver::JobState& DualParDriver::state_for(mpi::Job& job) {
-  auto it = jobs_.find(job.id());
-  if (it == jobs_.end()) {
-    JobState st;
-    st.crm_context = 1'000'000 + std::uint64_t{job.id()} * 1000;
-    it = jobs_.emplace(job.id(), std::move(st)).first;
+  const std::uint32_t id = job.id();
+  if (id >= jobs_.size()) jobs_.resize(id + 1);
+  auto& slot = jobs_[id];
+  if (!slot) {
+    slot = std::make_unique<JobState>();
+    slot->crm_context = 1'000'000 + std::uint64_t{id} * 1000;
   }
-  return it->second;
+  return *slot;
 }
 
 void DualParDriver::io(mpi::Process& proc, const mpi::IoCall& call,

@@ -101,7 +101,11 @@ class DualParDriver : public mpiio::VanillaDriver {
   cache::GlobalCache& cache_;
   Emc& emc_;
   Params params_;
-  std::map<std::uint32_t, JobState> jobs_;
+  // Dense job-id index: state_for runs on every I/O call, and the tree walk
+  // of the std::map this replaces showed up at cluster scale. unique_ptr
+  // slots keep JobState addresses stable across table growth (references
+  // are held across re-entrant engine callbacks).
+  std::vector<std::unique_ptr<JobState>> jobs_;
   DriverStats stats_;
 };
 

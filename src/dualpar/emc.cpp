@@ -1,6 +1,7 @@
 #include "dualpar/emc.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "disk/request.hpp"
 #include "dualpar/crm.hpp"
@@ -10,15 +11,39 @@ namespace dpar::dualpar {
 Emc::Emc(sim::Engine& eng, Params params, std::vector<pfs::DataServer*> servers)
     : eng_(eng), params_(params), servers_(std::move(servers)) {}
 
+Emc::JobEntry* Emc::find_job(std::uint32_t job_id) {
+  if (job_id >= slot_of_.size() || slot_of_[job_id] == 0) return nullptr;
+  return &entries_[slot_of_[job_id] - 1];
+}
+
+const Emc::JobEntry* Emc::find_job(std::uint32_t job_id) const {
+  if (job_id >= slot_of_.size() || slot_of_[job_id] == 0) return nullptr;
+  return &entries_[slot_of_[job_id] - 1];
+}
+
 void Emc::register_job(mpi::Job& job, Policy policy) {
   JobEntry e;
+  e.id = job.id();
   e.job = &job;
   e.policy = policy;
   switch (policy) {
     case Policy::kForcedDataDriven: e.mode = Mode::kDataDriven; break;
     default: e.mode = Mode::kNormal; break;
   }
-  jobs_[job.id()] = std::move(e);
+  // Registration is rare (once per job); sorted insertion keeps tick()'s
+  // iteration in ascending id order. Re-registering an id replaces it.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), e.id,
+      [](const JobEntry& a, std::uint32_t id) { return a.id < id; });
+  if (it != entries_.end() && it->id == e.id) {
+    *it = std::move(e);
+  } else {
+    it = entries_.insert(it, std::move(e));
+  }
+  if (slot_of_.size() <= entries_.back().id) slot_of_.resize(entries_.back().id + 1, 0);
+  // Indices at and after the insertion point shifted by one.
+  for (auto j = it; j != entries_.end(); ++j)
+    slot_of_[j->id] = static_cast<std::uint32_t>(j - entries_.begin()) + 1;
 }
 
 Mode Emc::mode(std::uint32_t job_id) const {
@@ -27,10 +52,15 @@ Mode Emc::mode(std::uint32_t job_id) const {
   // data behind one CRM cycle only multiplies the blast radius of the next
   // fault. Every job runs vanilla until the cluster recovers.
   if (degraded_) return Mode::kNormal;
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) return Mode::kNormal;
-  if (it->second.latched) return Mode::kNormal;
-  return it->second.mode;
+  const JobEntry* e = find_job(job_id);
+  if (e == nullptr || e->latched) return Mode::kNormal;
+  return e->mode;
+}
+
+const sim::TimeSeries& Emc::mode_series(std::uint32_t job_id) const {
+  const JobEntry* e = find_job(job_id);
+  if (e == nullptr) throw std::out_of_range("Emc::mode_series: unknown job");
+  return e->mode_series;
 }
 
 void Emc::report_io_error() {
@@ -72,29 +102,34 @@ void Emc::update_degraded() {
 }
 
 void Emc::report_misprefetch(std::uint32_t job_id, double ratio) {
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) return;
-  it->second.misprefetch.add(ratio);
-  if (it->second.misprefetch.value() > params_.misprefetch_threshold &&
-      it->second.policy != Policy::kForcedNormal) {
+  JobEntry* e = find_job(job_id);
+  if (e == nullptr) return;
+  e->misprefetch.add(ratio);
+  if (e->misprefetch.value() > params_.misprefetch_threshold &&
+      e->policy != Policy::kForcedNormal) {
     // "A large mis-prefetching miss ratio will turn off the data-driven mode
     // ... this is a one-time overhead" — latch the job to normal.
-    it->second.latched = true;
-    it->second.mode_series.add(eng_.now(), 0.0);
+    e->latched = true;
+    e->mode_series.add(eng_.now(), 0.0);
   }
 }
 
 bool Emc::latched_off(std::uint32_t job_id) const {
-  auto it = jobs_.find(job_id);
-  return it != jobs_.end() && it->second.latched;
+  const JobEntry* e = find_job(job_id);
+  return e != nullptr && e->latched;
 }
 
 void Emc::observe(std::uint32_t job_id, pfs::FileId file,
                   const std::vector<pfs::Segment>& segments, sim::Time) {
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) return;
-  auto& slot = it->second.slot_requests[file];
-  slot.insert(slot.end(), segments.begin(), segments.end());
+  JobEntry* e = find_job(job_id);
+  if (e == nullptr) return;
+  auto& reqs = e->slot_requests;
+  auto it = std::lower_bound(
+      reqs.begin(), reqs.end(), file,
+      [](const auto& p, pfs::FileId f) { return p.first < f; });
+  if (it == reqs.end() || it->first != file)
+    it = reqs.insert(it, {file, {}});
+  it->second.insert(it->second.end(), segments.begin(), segments.end());
 }
 
 void Emc::start() {
@@ -104,8 +139,8 @@ void Emc::start() {
     ticking_ = false;
     tick();
     // Keep evaluating while any registered job is live.
-    const bool live = std::any_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
-      return !kv.second.job->finished();
+    const bool live = std::any_of(entries_.begin(), entries_.end(), [](const auto& e) {
+      return !e.job->finished();
     });
     if (live) start();
   });
@@ -130,7 +165,7 @@ void Emc::tick() {
   // Client-side: per-job ReqDist and I/O ratio.
   double req_sum = 0.0;
   std::uint32_t req_n = 0;
-  for (auto& [id, e] : jobs_) {
+  for (JobEntry& e : entries_) {
     double job_sum = 0.0;
     std::uint32_t job_n = 0;
     for (auto& [file, segs] : e.slot_requests) {
@@ -138,7 +173,9 @@ void Emc::tick() {
       job_sum += mean_adjacent_distance(segs);
       ++job_n;
     }
-    e.slot_requests.clear();
+    // Keep the per-file vectors (and their capacity); empty files are
+    // skipped by the size guard above, so results are unchanged.
+    for (auto& [file, segs] : e.slot_requests) segs.clear();
     if (job_n > 0) {
       req_sum += job_sum / job_n;
       ++req_n;
@@ -159,7 +196,7 @@ void Emc::tick() {
   // Mode decisions, with confirmation slots and a minimum dwell so the
   // controller does not flap (the data-driven mode's own effect on seek
   // distances would immediately disqualify it again).
-  for (auto& [id, e] : jobs_) {
+  for (JobEntry& e : entries_) {
     if (e.policy != Policy::kAdaptive || e.latched || e.job->finished()) continue;
     const Mode want = (last_ratio_ > params_.t_improvement &&
                        e.io_ratio > params_.io_ratio_threshold)

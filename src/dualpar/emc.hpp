@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "dualpar/params.hpp"
@@ -68,13 +68,12 @@ class Emc : public mpiio::RequestObserver {
   double last_req_dist_bytes() const { return last_req_; }
   double last_improvement_ratio() const { return last_ratio_; }
   const sim::TimeSeries& seek_series() const { return seek_series_; }
-  const sim::TimeSeries& mode_series(std::uint32_t job_id) const {
-    return jobs_.at(job_id).mode_series;
-  }
+  const sim::TimeSeries& mode_series(std::uint32_t job_id) const;
   std::uint64_t mode_switches() const { return switches_; }
 
  private:
   struct JobEntry {
+    std::uint32_t id = 0;
     mpi::Job* job = nullptr;
     Policy policy = Policy::kAdaptive;
     Mode mode = Mode::kNormal;
@@ -84,8 +83,12 @@ class Emc : public mpiio::RequestObserver {
     sim::Time prev_io = 0;
     sim::Time prev_compute = 0;
     double io_ratio = 0.0;
-    // Request observations of the current slot, per file.
-    std::map<pfs::FileId, std::vector<pfs::Segment>> slot_requests;
+    // Request observations of the current slot, per file: a FileId-sorted
+    // flat vector (binary-search insert in observe(), the per-op hot path).
+    // Segment vectors are cleared, not erased, between slots so their
+    // capacity survives — at thousands of observes per slot the node churn
+    // of the old per-file std::map dominated tick().
+    std::vector<std::pair<pfs::FileId, std::vector<pfs::Segment>>> slot_requests;
     sim::TimeSeries mode_series;
     // Switch damping.
     std::uint32_t agree_slots = 0;
@@ -93,11 +96,18 @@ class Emc : public mpiio::RequestObserver {
   };
 
   void update_degraded();
+  JobEntry* find_job(std::uint32_t job_id);
+  const JobEntry* find_job(std::uint32_t job_id) const;
 
   sim::Engine& eng_;
   Params params_;
   std::vector<pfs::DataServer*> servers_;
-  std::map<std::uint32_t, JobEntry> jobs_;
+  // Job table: entries kept in ascending job-id order (tick() iterates them,
+  // and the iteration order fixes the floating-point accumulation order, so
+  // it must match the std::map this replaces) plus a dense id → index+1
+  // side table for O(1) lookup on the per-op paths (observe, mode).
+  std::vector<JobEntry> entries_;
+  std::vector<std::uint32_t> slot_of_;  ///< job id -> entries_ index + 1; 0 = absent
   fault::FaultInjector* injector_ = nullptr;
   std::uint32_t servers_down_ = 0;
   double error_ewma_ = 0.0;

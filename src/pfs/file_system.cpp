@@ -1,5 +1,6 @@
 #include "pfs/file_system.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -183,20 +184,41 @@ void start_attempt(IoOp* op, std::size_t idx) {
 
 }  // namespace
 
+namespace {
+
+/// Wire sizes of one shard's request/reply pair. Request message: header +
+/// run descriptors (+ payload for writes); reply: header (+ payload for
+/// reads). The single summation site shared by the robust and fast paths.
+struct ShardSizing {
+  std::uint64_t req_msg;
+  std::uint64_t reply_msg;
+};
+
+ShardSizing size_shard(const std::vector<ServerRun>& runs, bool is_write) {
+  std::uint64_t run_bytes = 0;
+  for (const auto& r : runs) run_bytes += r.length;
+  return ShardSizing{96 + 16 * runs.size() + (is_write ? run_bytes : 0),
+                     is_write ? 64 : run_bytes + 64};
+}
+
+}  // namespace
+
 void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write,
                 std::uint64_t context, IoDoneFn done) {
   ++calls_;
-  std::vector<std::vector<ServerRun>> per_server(fs_.num_servers());
+  scratch_.reset(fs_.num_servers());
   std::uint64_t total_bytes = 0;
   for (const Segment& seg : segments) {
     if (seg.length == 0) continue;
     total_bytes += seg.length;
-    decompose_segment(fs_.layout(), seg, per_server);
+    decompose_segment(fs_.layout(), seg, scratch_);
   }
 
-  std::uint32_t involved = 0;
-  for (const auto& runs : per_server)
-    if (!runs.empty()) ++involved;
+  // Servers are contacted in ascending id order (touched records first-touch
+  // order); only the servers actually holding data are visited.
+  std::sort(scratch_.touched.begin(), scratch_.touched.end());
+  auto& per_server = scratch_.per_server;
+  const auto involved = static_cast<std::uint32_t>(scratch_.touched.size());
   if (involved == 0) {
     fs_.engine().after(0, [done = std::move(done)]() mutable {
       done(0, fault::Status::kOk);
@@ -213,15 +235,13 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
                         involved,   0,       std::move(done),
                         {}};
     op->shards.reserve(involved);
-    for (std::uint32_t s = 0; s < fs_.num_servers(); ++s) {
-      if (per_server[s].empty()) continue;
-      std::uint64_t run_bytes = 0;
-      for (const auto& r : per_server[s]) run_bytes += r.length;
+    for (std::uint32_t s : scratch_.touched) {
+      const ShardSizing wire = size_shard(per_server[s], is_write);
       IoOp::Shard sh;
       sh.server = s;
       sh.runs = std::move(per_server[s]);
-      sh.req_msg = 96 + 16 * sh.runs.size() + (is_write ? run_bytes : 0);
-      sh.reply_msg = is_write ? 64 : run_bytes + 64;
+      sh.req_msg = wire.req_msg;
+      sh.reply_msg = wire.reply_msg;
       op->shards.push_back(std::move(sh));
     }
     // First attempts start only after every shard exists: start_attempt may
@@ -235,17 +255,9 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
       involved, [done = std::move(done), total_bytes](fault::Status st) mutable {
         done(total_bytes, st);
       });
-  for (std::uint32_t s = 0; s < fs_.num_servers(); ++s) {
-    if (per_server[s].empty()) continue;
+  for (std::uint32_t s : scratch_.touched) {
     DataServer& srv = fs_.server(s);
-    const std::uint64_t run_bytes = [&] {
-      std::uint64_t sum = 0;
-      for (const auto& r : per_server[s]) sum += r.length;
-      return sum;
-    }();
-    // Request message: header + run descriptors (+ payload for writes).
-    const std::uint64_t req_msg = 96 + 16 * per_server[s].size() + (is_write ? run_bytes : 0);
-    const std::uint64_t reply_msg = is_write ? 64 : run_bytes + 64;
+    const ShardSizing wire = size_shard(per_server[s], is_write);
 
     ServerIoRequest req;
     req.file = file;
@@ -256,10 +268,11 @@ void Client::io(FileId file, const std::vector<Segment>& segments, bool is_write
     auto& net = fs_.network();
     const net::NodeId srv_node = srv.node();
     const net::NodeId client_node = node_;
+    const std::uint64_t reply_msg = wire.reply_msg;
     req.done = [&net, srv_node, client_node, reply_msg, fan](fault::Status st) {
       net.send(srv_node, client_node, reply_msg, [fan, st] { fan->complete(st); });
     };
-    net.send(client_node, srv_node, req_msg,
+    net.send(client_node, srv_node, wire.req_msg,
              [&srv, req = std::move(req)]() mutable { srv.handle(std::move(req)); });
   }
 }

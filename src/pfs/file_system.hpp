@@ -83,6 +83,11 @@ class Client {
   FileSystem& fs_;
   net::NodeId node_;
   std::uint64_t calls_ = 0;
+  /// Per-client decomposition scratch: the per-server outer vector is sized
+  /// once and the send path walks only the servers a call actually touches —
+  /// at 256+ servers the old per-call allocation and full-width scans
+  /// dominated small requests.
+  DecomposeScratch scratch_;
 };
 
 }  // namespace dpar::pfs

@@ -21,6 +21,11 @@ struct Segment {
 struct StripeLayout {
   std::uint64_t unit_bytes = 64 * 1024;
   std::uint32_t num_servers = 1;
+  /// Route decompose_segment through the frozen per-chunk loop
+  /// (layout_reference.cpp) instead of the closed form. The two produce
+  /// identical runs; benches flip this to measure the closed form against
+  /// the pre-change code path end to end.
+  bool reference_decompose = false;
 
   std::uint64_t stripe_of(std::uint64_t offset) const { return offset / unit_bytes; }
   std::uint32_t server_of(std::uint64_t offset) const {
@@ -51,9 +56,39 @@ struct ServerRun {
   friend bool operator==(const ServerRun&, const ServerRun&) = default;
 };
 
+/// Reusable scratch for repeated decompositions on one client. Holds the
+/// per-server run lists plus the ascending-insertion list of servers that
+/// actually received runs, so the send path iterates O(involved servers)
+/// instead of O(num_servers) and the outer vector is allocated once per
+/// client, not once per I/O call.
+struct DecomposeScratch {
+  std::vector<std::vector<ServerRun>> per_server;
+  std::vector<std::uint32_t> touched;  ///< servers with runs, first-touch order
+
+  /// Prepare for a new decomposition over `num_servers` servers: clears the
+  /// previously touched run lists (O(touched), not O(servers)) and keeps
+  /// every vector's capacity for reuse.
+  void reset(std::uint32_t num_servers);
+};
+
 /// Decompose a file segment into per-server runs, coalescing runs that are
-/// contiguous in a server's local space.
+/// contiguous in a server's local space. Closed form: each involved server's
+/// bytes within one contiguous segment form a single contiguous local run
+/// (interior stripes of one server map to adjacent local units), so the
+/// decomposition emits O(min(stripes, servers)) runs directly instead of
+/// walking one iteration per stripe chunk.
 void decompose_segment(const StripeLayout& layout, const Segment& seg,
                        std::vector<std::vector<ServerRun>>& per_server);
+
+/// Scratch-based variant used by the client send path: additionally records
+/// which servers received their first run in `scratch.touched`.
+void decompose_segment(const StripeLayout& layout, const Segment& seg,
+                       DecomposeScratch& scratch);
+
+/// The pre-closed-form decomposition, one loop iteration per stripe chunk,
+/// frozen verbatim as the differential oracle (same pattern as the scheduler
+/// references in sched_reference.cpp). Produces byte-identical runs.
+void decompose_segment_reference(const StripeLayout& layout, const Segment& seg,
+                                 std::vector<std::vector<ServerRun>>& per_server);
 
 }  // namespace dpar::pfs

@@ -96,6 +96,26 @@ TEST(FuzzLayout, DecomposeMatchesBruteForce) {
   }
 }
 
+TEST(FuzzLayout, ClosedFormMatchesReferenceAtScale) {
+  // Beyond the power-of-two units and small server counts above: arbitrary
+  // units (down to 1 byte) and up to 300 servers, closed form against the
+  // frozen per-chunk loop (see also tests/test_layout_model.cpp).
+  sim::Rng rng(0x5caff);
+  for (int round = 0; round < 150; ++round) {
+    pfs::StripeLayout layout;
+    layout.unit_bytes = 1 + rng.uniform(100'000);
+    layout.num_servers = 1 + static_cast<std::uint32_t>(rng.uniform(299));
+    const std::uint64_t span = layout.unit_bytes * layout.num_servers;
+    const pfs::Segment seg{rng.uniform(span * 6), 1 + rng.uniform(span * 3)};
+    std::vector<std::vector<pfs::ServerRun>> closed, ref;
+    pfs::decompose_segment(layout, seg, closed);
+    pfs::decompose_segment_reference(layout, seg, ref);
+    ASSERT_EQ(closed, ref) << "unit=" << layout.unit_bytes
+                           << " servers=" << layout.num_servers
+                           << " off=" << seg.offset << " len=" << seg.length;
+  }
+}
+
 TEST(FuzzEngine, RandomCancellationsNeverFireOrLoseEvents) {
   sim::Rng rng(7);
   sim::Engine eng;

@@ -118,14 +118,21 @@ TEST_P(RangeSetModelTest, RandomizedOpsMatchReferenceModel) {
     const std::uint64_t e = std::min(b + len, kSpace);
     switch (rng.uniform(4)) {
       case 0:
-      case 1:
-        flat.add(b, e);
+      case 1: {
+        // add() reports the bytes newly covered: cross-check the delta
+        // against the model's before/after totals (it feeds the cache's
+        // usage counters).
+        const std::uint64_t before = model.total_bytes();
         model.add(b, e);
+        EXPECT_EQ(flat.add(b, e), model.total_bytes() - before) << "op " << op;
         break;
-      case 2:
-        flat.remove(b, e);
+      }
+      case 2: {
+        const std::uint64_t before = model.total_bytes();
         model.remove(b, e);
+        EXPECT_EQ(flat.remove(b, e), before - model.total_bytes()) << "op " << op;
         break;
+      }
       default: {
         EXPECT_EQ(flat.covers(b, e), model.covers(b, e)) << "op " << op;
         EXPECT_EQ(flat.intersects(b, e), model.intersects(b, e)) << "op " << op;
@@ -145,6 +152,21 @@ TEST_P(RangeSetModelTest, RandomizedOpsMatchReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetModelTest,
                          ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+TEST(RangeSetModel, AddRemoveReportByteDeltas) {
+  RangeSet rs;
+  EXPECT_EQ(rs.add(0, 100), 100u);
+  EXPECT_EQ(rs.add(50, 150), 50u);   // half already covered
+  EXPECT_EQ(rs.add(20, 80), 0u);     // fully covered
+  EXPECT_EQ(rs.add(10, 10), 0u);     // empty
+  EXPECT_EQ(rs.total_bytes(), 150u);
+  EXPECT_EQ(rs.remove(140, 200), 10u);  // partial overlap on the right
+  EXPECT_EQ(rs.remove(300, 400), 0u);   // disjoint
+  EXPECT_EQ(rs.remove(40, 60), 20u);    // split
+  EXPECT_EQ(rs.total_bytes(), 120u);
+  rs.clear();
+  EXPECT_EQ(rs.total_bytes(), 0u);
+}
 
 TEST(RangeSetModel, AdjacentRangesCoalesce) {
   RangeSet rs;

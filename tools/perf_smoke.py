@@ -24,6 +24,7 @@ import sys
 
 MAX_REGRESSION = 0.30
 MIN_DUTY_RATIO = 1.3
+MIN_DECOMPOSE_SPEEDUP = 2.0
 GATED_POLICIES = ("deadline", "cscan", "cfq", "anticipatory")
 UNGATED_POLICIES = ("noop",)
 
@@ -58,6 +59,58 @@ def report_faults(path):
         print(f"  {e['label']:<20} {float(e['value']):10.2f}")
 
 
+def gate_scaleout(path, failures, required):
+    """Gate the bench_scaleout section: the closed-form striping
+    decomposition must beat the frozen per-chunk reference loop by
+    MIN_DECOMPOSE_SPEEDUP on wall time at every swept server count
+    (machine-independent -- both paths run the same segment stream in the
+    same process). Sweep throughputs are printed for trend visibility but
+    never gated: they are deterministic simulator outputs, not timings."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        scaleout = doc.get("benches", {}).get("bench_scaleout")
+    except (OSError, ValueError):
+        scaleout = None
+    print("== bench_scaleout ==")
+    if scaleout is None:
+        print("  (no bench_scaleout section in this run)")
+        if required:
+            failures.append("bench_scaleout section missing (--require-scaleout)")
+        return
+    entries = {e["label"]: e for e in scaleout["experiments"]}
+    closed = {l.rsplit("=", 1)[1]: e for l, e in entries.items()
+              if l.startswith("decompose/closed")}
+    ref = {l.rsplit("=", 1)[1]: e for l, e in entries.items()
+           if l.startswith("decompose/ref")}
+    if not closed or closed.keys() != ref.keys():
+        failures.append("bench_scaleout: decompose closed/ref pairs incomplete")
+    for servers in sorted(closed, key=int):
+        if servers not in ref:
+            continue
+        cw = float(closed[servers]["wall_s"])
+        rw = float(ref[servers]["wall_s"])
+        if cw <= 0:
+            failures.append(f"decompose servers={servers}: zero closed wall time")
+            continue
+        speedup = rw / cw
+        ok = speedup >= MIN_DECOMPOSE_SPEEDUP
+        print(f"  decompose servers={servers:<4} closed/ref speedup "
+              f"{speedup:6.1f}x  {'ok' if ok else f'FAIL (< {MIN_DECOMPOSE_SPEEDUP}x)'}")
+        if not ok:
+            failures.append(
+                f"decompose servers={servers}: closed form only {speedup:.2f}x "
+                f"faster than reference (limit {MIN_DECOMPOSE_SPEEDUP}x)")
+    rss = entries.get("peak_rss_mb")
+    tracked = [(l, e) for l, e in entries.items()
+               if l.startswith(("weak/", "strong/"))]
+    for label, e in tracked:
+        print(f"  {label:<45} {float(e['value']):10.1f} MB/s "
+              f"({e['events']} events; tracked, never gated)")
+    if rss is not None:
+        print(f"  peak RSS {float(rss['value']):.1f} MB (tracked, never gated)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", default="BENCH_sim_core.json",
@@ -66,6 +119,8 @@ def main():
                     help="checked-in {label: events_per_sec} baseline")
     ap.add_argument("--warn-only", action="store_true",
                     help="report failures but exit 0 (sanitizer legs)")
+    ap.add_argument("--require-scaleout", action="store_true",
+                    help="fail if the perf JSON has no bench_scaleout section")
     args = ap.parse_args()
 
     current = load_micro(args.current)
@@ -100,7 +155,23 @@ def main():
             verdict = "tracked, not gated"
         print(f"  {policy:<13} {r:6.2f}x  {verdict}")
 
+    print("== striping decomposition: closed form vs reference loop ==")
+    dec = current.get("BM_StripeDecompose")
+    dec_ref = current.get("BM_StripeDecomposeRef")
+    if dec is None or dec_ref is None or dec_ref <= 0:
+        failures.append("BM_StripeDecompose/BM_StripeDecomposeRef pair missing")
+    else:
+        r = dec / dec_ref
+        ok = r >= MIN_DECOMPOSE_SPEEDUP
+        print(f"  closed/ref   {r:6.2f}x  "
+              f"{'ok' if ok else f'FAIL (< {MIN_DECOMPOSE_SPEEDUP}x)'}")
+        if not ok:
+            failures.append(
+                f"BM_StripeDecompose: {r:.2f}x vs reference "
+                f"(limit {MIN_DECOMPOSE_SPEEDUP}x)")
+
     report_faults(args.current)
+    gate_scaleout(args.current, failures, args.require_scaleout)
 
     print("== absolute events/sec vs checked-in baseline ==")
     for label in sorted(baseline):
