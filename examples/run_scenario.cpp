@@ -2,7 +2,7 @@
 // variant without writing code, and optionally export the timelines and the
 // server-1 blktrace as CSV.
 //
-//   $ ./run_scenario --workload ior --driver dualpar --procs 64 \
+//   $ ./run_scenario --workload ior --driver dualpar --procs 64
 //         --servers 9 --mb 256 --csv /tmp/run
 //
 //   --workload  demo|mpiiotest|hpio|ior|noncontig|s3asim|btio|dependent

@@ -151,6 +151,7 @@ std::vector<pfs::Segment> GlobalCache::dirty_segments(pfs::FileId file) const {
 std::vector<std::pair<pfs::FileId, pfs::Segment>> GlobalCache::all_dirty_segments() const {
   std::vector<pfs::FileId> files;
   files.reserve(dirty_chunks_.size());
+  // dpar-lint: allow(unordered-iter) keys are collected then sorted before use
   for (const auto& [f, idx] : dirty_chunks_) files.push_back(f);
   std::sort(files.begin(), files.end());
   std::vector<std::pair<pfs::FileId, pfs::Segment>> out;
@@ -173,6 +174,8 @@ void GlobalCache::clear_dirty(pfs::FileId file, const pfs::Segment& seg) {
 std::uint64_t GlobalCache::invalidate_server(const pfs::StripeLayout& layout,
                                              std::uint32_t server) {
   std::uint64_t invalidated = 0;
+  // dpar-lint: allow(unordered-iter) commutative byte sum + whole-table erase;
+  // no per-chunk effect depends on visit order
   for (auto it = chunks_.begin(); it != chunks_.end();) {
     ChunkMeta& meta = it->second;
     const std::uint64_t chunk_base = it->first.index * params_.chunk_bytes;
@@ -210,6 +213,8 @@ std::uint64_t GlobalCache::invalidate_server(const pfs::StripeLayout& layout,
 
 std::uint64_t GlobalCache::evict_idle(sim::Time now) {
   std::uint64_t evicted = 0;
+  // dpar-lint: allow(unordered-iter) commutative byte sum + predicate erase;
+  // the surviving set is independent of visit order
   for (auto it = chunks_.begin(); it != chunks_.end();) {
     if (it->second.dirty.empty() && now - it->second.last_ref >= params_.idle_eviction) {
       const std::uint64_t bytes = it->second.valid.total_bytes();
@@ -224,6 +229,8 @@ std::uint64_t GlobalCache::evict_idle(sim::Time now) {
 }
 
 void GlobalCache::drop_clean(std::uint64_t owner) {
+  // dpar-lint: allow(unordered-iter) predicate erase; the surviving set is
+  // independent of visit order
   for (auto it = chunks_.begin(); it != chunks_.end();) {
     if (it->second.owner == owner && it->second.dirty.empty()) {
       debit_valid(it->second, it->second.valid.total_bytes());
@@ -273,9 +280,14 @@ void GlobalCache::enforce_capacity(net::NodeId node) {
   while (used > params_.capacity_per_node) {
     const ChunkKey* victim = nullptr;
     sim::Time oldest = INT64_MAX;
+    // Smallest-(last_ref, key) victim: the key tie-break makes the choice
+    // independent of the unordered table's hash order, so eviction order —
+    // which is part of the deterministic output — never leaks it.
+    // dpar-lint: allow(unordered-iter) min-scan with deterministic tie-break
     for (const auto& [key, meta] : chunks_) {
       if (meta.home != node || !meta.dirty.empty()) continue;
-      if (meta.last_ref < oldest) {
+      if (meta.last_ref < oldest ||
+          (meta.last_ref == oldest && victim != nullptr && key < *victim)) {
         oldest = meta.last_ref;
         victim = &key;
       }

@@ -27,6 +27,9 @@ struct ChunkKey {
   pfs::FileId file = 0;
   std::uint64_t index = 0;
   friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+  /// (file, index) lexicographic order — the deterministic tie-break for any
+  /// scan over the unordered chunk table whose result could reach output.
+  friend auto operator<=>(const ChunkKey&, const ChunkKey&) = default;
 };
 
 struct ChunkKeyHash {

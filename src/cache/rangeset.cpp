@@ -64,6 +64,7 @@ std::uint64_t RangeSet::add(std::uint64_t begin, std::uint64_t end) {
                 ranges_.begin() + static_cast<std::ptrdiff_t>(hi));
   const std::uint64_t grown = (merged_end - merged_begin) - window_bytes;
   total_ += grown;
+  DPAR_IF_CHECKING(check_invariants());
   return grown;
 }
 
@@ -94,7 +95,21 @@ std::uint64_t RangeSet::remove(std::uint64_t begin, std::uint64_t end) {
     ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(lo) + 1, right);
   }
   total_ -= removed;
+  DPAR_IF_CHECKING(check_invariants());
   return removed;
+}
+
+void RangeSet::check_invariants() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    DPAR_ASSERT(ranges_[i].begin < ranges_[i].end, "RangeSet: empty range stored");
+    if (i > 0)
+      DPAR_ASSERT(ranges_[i - 1].end < ranges_[i].begin,
+                  "RangeSet: ranges out of order, overlapping, or adjacent");
+    sum += ranges_[i].length();
+  }
+  DPAR_ASSERT(sum == total_,
+              "RangeSet: incremental byte total diverged from range sum");
 }
 
 bool RangeSet::covers(std::uint64_t begin, std::uint64_t end) const {

@@ -9,7 +9,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "sim/debug.hpp"
 
 namespace dpar::cache {
 
@@ -47,6 +50,22 @@ class RangeSet {
     ranges_.clear();
     total_ = 0;
   }
+
+  /// Full structural validation (debug invariant layer): sortedness, pairwise
+  /// disjoint/non-adjacent, non-empty ranges, and the incrementally maintained
+  /// byte total matching the sum of range lengths. Aborts via DPAR_ASSERT on
+  /// violation. Called after every add/remove when DPAR_CHECK_INVARIANTS is
+  /// compiled in, and directly by tests.
+  void check_invariants() const;
+
+#if DPAR_CHECK_INVARIANTS
+  /// Test-only corruption hooks for the invariant layer's own death tests —
+  /// exist solely so a test can prove DPAR_ASSERT fires on a broken set.
+  void debug_corrupt_total_for_test(std::uint64_t total) { total_ = total; }
+  void debug_corrupt_order_for_test() {
+    if (ranges_.size() >= 2) std::swap(ranges_.front(), ranges_.back());
+  }
+#endif
 
  private:
   /// First index whose range begins after `x` (branchless binary search).

@@ -5,6 +5,7 @@
 
 #include "disk/request.hpp"
 #include "dualpar/crm.hpp"
+#include "sim/debug.hpp"
 
 namespace dpar::dualpar {
 
@@ -44,6 +45,30 @@ void Emc::register_job(mpi::Job& job, Policy policy) {
   // Indices at and after the insertion point shifted by one.
   for (auto j = it; j != entries_.end(); ++j)
     slot_of_[j->id] = static_cast<std::uint32_t>(j - entries_.begin()) + 1;
+  DPAR_IF_CHECKING(check_invariants());
+}
+
+void Emc::check_invariants() const {
+  // The flat job vector and the id -> slot side table must agree exactly:
+  // entries ascending by id (tick()'s float-accumulation order), every entry
+  // reachable through its slot, and no slot pointing at a foreign entry.
+  std::size_t mapped = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0)
+      DPAR_ASSERT(entries_[i - 1].id < entries_[i].id,
+                  "EMC: job entries not in strictly ascending id order");
+    DPAR_ASSERT(entries_[i].id < slot_of_.size(),
+                "EMC: job id beyond the slot table");
+    DPAR_ASSERT(slot_of_[entries_[i].id] == i + 1,
+                "EMC: id -> slot index disagrees with the flat job vector");
+  }
+  for (std::uint32_t slot : slot_of_)
+    if (slot != 0) {
+      ++mapped;
+      DPAR_ASSERT(slot <= entries_.size(), "EMC: slot table points past entries");
+    }
+  DPAR_ASSERT(mapped == entries_.size(),
+              "EMC: slot table maps a different number of jobs than exist");
 }
 
 Mode Emc::mode(std::uint32_t job_id) const {

@@ -63,6 +63,12 @@ class Emc : public mpiio::RequestObserver {
   /// One evaluation step (also callable directly from tests).
   void tick();
 
+  /// Debug invariant layer: verifies the id -> slot side table agrees with
+  /// the flat, id-sorted job vector. Aborts via DPAR_ASSERT on violation.
+  /// Called after every register_job when DPAR_CHECK_INVARIANTS is compiled
+  /// in, and directly by tests.
+  void check_invariants() const;
+
   // ---- Introspection for experiments ----
   double last_seek_dist_bytes() const { return last_seek_; }
   double last_req_dist_bytes() const { return last_req_; }

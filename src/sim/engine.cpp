@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/debug.hpp"
+
 namespace dpar::sim {
 
 std::uint32_t Engine::alloc_slot_() {
@@ -83,6 +85,44 @@ void Engine::compact_() {
   if (out > 1)
     for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) sift_down_(i);
   stale_ = 0;
+  DPAR_IF_CHECKING(check_invariants());
+}
+
+void Engine::check_invariants() const {
+  // Heap property: no child orders before its parent.
+  for (std::size_t i = 1; i < heap_.size(); ++i)
+    DPAR_ASSERT(!before_(heap_[i], heap_[(i - 1) / 4]),
+                "event heap: child precedes its parent");
+  // Key validity and live/stale bookkeeping.
+  std::size_t live_keys = 0;
+  std::size_t stale_keys = 0;
+  for (const Key& k : heap_) {
+    DPAR_ASSERT(k.slot < slots_.size(), "event heap: key slot out of range");
+    DPAR_ASSERT(k.gen != 0, "event heap: key with reserved generation 0");
+    if (stale_key_(k)) {
+      ++stale_keys;
+    } else {
+      ++live_keys;
+      DPAR_ASSERT(static_cast<bool>(slots_[k.slot].cb),
+                  "event heap: live key whose slot has no callback");
+      DPAR_ASSERT(k.t >= now_, "event heap: live key scheduled in the past");
+    }
+  }
+  DPAR_ASSERT(live_keys == live_, "event heap: live-event count out of sync");
+  DPAR_ASSERT(stale_keys == stale_, "event heap: stale-key count out of sync");
+  DPAR_ASSERT(gens_.size() == slots_.size(),
+              "event slab: generation array not parallel to slots");
+  // Freelist: every link in range, no slot visited twice, no free slot
+  // holding a callback.
+  std::vector<bool> seen(slots_.size(), false);
+  for (std::uint32_t head = free_head_; head != 0;
+       head = slots_[head - 1].next_free) {
+    const std::uint32_t slot = head - 1;
+    DPAR_ASSERT(slot < slots_.size(), "event slab: freelist link out of range");
+    DPAR_ASSERT(!seen[slot], "event slab: freelist cycle");
+    DPAR_ASSERT(!slots_[slot].cb, "event slab: free slot holds a callback");
+    seen[slot] = true;
+  }
 }
 
 EventId Engine::at(Time t, Callback cb) {

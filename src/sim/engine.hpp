@@ -83,6 +83,13 @@ class Engine {
   /// (bounded at ~2x live_events()).
   std::size_t queue_depth() const { return heap_.size(); }
 
+  /// Full structural validation (debug invariant layer): 4-ary heap ordering,
+  /// generation-tag validity of every live key, live/stale bookkeeping, and
+  /// freelist consistency. Aborts via DPAR_ASSERT on violation; a no-op cost
+  /// apart from the walk. Called automatically after every compaction when
+  /// DPAR_CHECK_INVARIANTS is compiled in, and directly by tests.
+  void check_invariants() const;
+
  private:
   struct Slot {
     Callback cb;
@@ -97,11 +104,11 @@ class Engine {
 
   // (t, seq) packed into one 128-bit value: a single branchless compare.
   // Valid because t >= 0 always (at() rejects the past, now_ starts at 0),
-  // so the int64 -> uint64 cast preserves order.
-  static unsigned __int128 pri_(const Key& k) {
-    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(k.t))
-            << 64) |
-           k.seq;
+  // so the int64 -> uint64 cast preserves order. __extension__ keeps
+  // -Wpedantic (and thus the -Werror CI builds) quiet about the GNU type.
+  __extension__ typedef unsigned __int128 Pri;
+  static Pri pri_(const Key& k) {
+    return (static_cast<Pri>(static_cast<std::uint64_t>(k.t)) << 64) | k.seq;
   }
   static bool before_(const Key& a, const Key& b) { return pri_(a) < pri_(b); }
   bool stale_key_(const Key& k) const { return gens_[k.slot] != k.gen; }

@@ -190,7 +190,9 @@ TEST(Table3Shape, AdversaryOverheadBoundedAndLatched) {
                            dualpar ? dualpar::Policy::kForcedDataDriven
                                    : dualpar::Policy::kForcedNormal);
     tb.run();
-    if (dualpar) EXPECT_TRUE(tb.emc().latched_off(job.id()));
+    if (dualpar) {
+      EXPECT_TRUE(tb.emc().latched_off(job.id()));
+    }
     return job.completion_time();
   };
   const auto base = runtime(false);

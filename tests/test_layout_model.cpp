@@ -41,10 +41,11 @@ void check_invariants(const StripeLayout& layout, const Segment& seg,
     for (std::size_t i = 0; i < runs.size(); ++i) {
       ASSERT_GT(runs[i].length, 0u);
       total += runs[i].length;
-      if (i > 0)
+      if (i > 0) {
         ASSERT_GT(runs[i].local_offset,
                   runs[i - 1].local_offset + runs[i - 1].length)
             << "runs not sorted or not maximally coalesced";
+      }
     }
   }
   ASSERT_EQ(total, seg.length) << "unit=" << layout.unit_bytes

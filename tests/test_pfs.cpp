@@ -70,7 +70,9 @@ TEST(DecomposeSegment, SmallSegmentSingleServer) {
   EXPECT_EQ(per_server[1][0].local_offset, 5u);
   EXPECT_EQ(per_server[1][0].length, 100u);
   for (std::uint32_t s = 0; s < 9; ++s)
-    if (s != 1) EXPECT_TRUE(per_server[s].empty());
+    if (s != 1) {
+      EXPECT_TRUE(per_server[s].empty());
+    }
 }
 
 struct PfsFixture : ::testing::Test {

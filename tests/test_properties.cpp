@@ -171,7 +171,9 @@ RunResult run_matrix(Wl w, Drv d) {
     r.server_written += tb.server(i).bytes_written();
   }
   r.dirty_left = tb.cache().all_dirty_segments().size();
-  if (s.expected_bytes > 0) EXPECT_EQ(r.app_bytes, s.expected_bytes);
+  if (s.expected_bytes > 0) {
+    EXPECT_EQ(r.app_bytes, s.expected_bytes);
+  }
   return r;
 }
 
@@ -236,6 +238,8 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerSweep,
                              case disk::SchedulerKind::kDeadline: return "deadline";
                              case disk::SchedulerKind::kCscan: return "cscan";
                              case disk::SchedulerKind::kCfq: return "cfq";
+                             case disk::SchedulerKind::kAnticipatory:
+                               return "anticipatory";
                            }
                            return "x";
                          });

@@ -123,9 +123,24 @@ def main():
                     help="fail if the perf JSON has no bench_scaleout section")
     args = ap.parse_args()
 
-    current = load_micro(args.current)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    try:
+        current = load_micro(args.current)
+    except OSError as e:
+        raise SystemExit(
+            f"perf_smoke: cannot read current perf JSON {args.current!r}: "
+            f"{e.strerror or e} — run build/bench/bench_micro first (it writes "
+            "the dpar-bench-perf-v1 report this gate consumes)")
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        raise SystemExit(
+            f"perf_smoke: baseline file {args.baseline!r} missing or unreadable "
+            f"({e.strerror or e}) — pass --baseline or restore the checked-in "
+            "bench/perf_baseline.json")
+    except ValueError as e:
+        raise SystemExit(
+            f"perf_smoke: baseline file {args.baseline!r} is not valid JSON: {e}")
 
     failures = []
 
