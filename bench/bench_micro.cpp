@@ -14,6 +14,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -442,6 +443,70 @@ void BM_EndToEndMpiIoTest(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndMpiIoTest)->Unit(benchmark::kMillisecond);
 
+// Cost of one cross-lane event handoff through the conservative-PDES outbox
+// channel: two lanes ping-pong a message at exactly the lookahead distance,
+// so every event is a cross-lane post plus a window barrier.
+void BM_LpChannelHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const sim::LaneId a = eng.add_lane();
+    const sim::LaneId b = eng.add_lane();
+    eng.set_lookahead(sim::usec(50));
+    eng.set_pdes_workers(1);
+    int hops = 0;
+    std::function<void(sim::LaneId, sim::LaneId)> hop = [&](sim::LaneId cur,
+                                                            sim::LaneId nxt) {
+      if (++hops >= 1000) return;
+      eng.after_in(nxt, sim::usec(50), [&hop, nxt, cur] { hop(nxt, cur); });
+    };
+    eng.at_in(a, 0, [&hop, a, b] { hop(a, b); });
+    eng.run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LpChannelHandoff);
+
+// Fig-4-at-256-procs wall time swept over PDES worker counts. Simulated
+// output is byte-identical at every worker count; only the wall time moves.
+// perf_smoke gates workers=4 vs workers=1 when the host has >= 4 hardware
+// threads (see the PdesSweep/hw_threads entry appended in main).
+void BM_PdesSweep(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t last_events = 0;
+  for (auto _ : state) {
+    harness::TestbedConfig cfg = bench::paper_config();
+    cfg.pdes_workers = workers;
+    harness::Testbed tb(cfg);
+    // The fig4 shape (3 concurrent BTIO instances, 256 procs, 40 B vanilla
+    // requests), data volume scaled for a micro-bench iteration.
+    const std::uint64_t per_instance = (6800ull << 20) / 1024 / 16;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      wl::BtioConfig bc;
+      bc.total_bytes = per_instance;
+      bc.write_steps = 10;
+      bc.read_back = true;
+      bc.file = tb.create_file("btio" + std::to_string(i), bc.total_bytes * 2);
+      tb.add_job("btio" + std::to_string(i), 256, tb.vanilla(),
+                 [bc](std::uint32_t) { return wl::make_btio(bc); },
+                 dualpar::Policy::kForcedNormal);
+    }
+    last_events = tb.run();
+    state.counters["events"] = static_cast<double>(last_events);
+  }
+  // The event count is deterministic across iterations and worker counts,
+  // so items/sec is engine events per wall second — the rate perf_smoke
+  // compares across worker counts.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(last_events));
+}
+// UseRealTime: the worker pool spreads the same work over more threads, so
+// the speedup only shows up in wall time — CPU-time rates would cancel it.
+BENCHMARK(BM_PdesSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // Forward every run to the normal console output while collecting one
 // PerfEntry per benchmark, so bench_micro lands in BENCH_sim_core.json like
 // the figure/table benches. value = items/sec (the duty-cycle rate the CI
@@ -485,7 +550,18 @@ int main(int argc, char** argv) {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_start)
           .count();
-  if (!reporter.entries().empty())
-    bench::write_perf_json("bench_micro", reporter.entries(), wall_s, 1);
+  if (!reporter.entries().empty()) {
+    std::vector<metrics::PerfEntry> entries = reporter.entries();
+    // The PDES sweep's speedup gate is only meaningful on hardware with
+    // enough cores; record the host's parallelism next to the timings so
+    // perf_smoke can decide whether to gate or just track.
+    metrics::PerfEntry hw;
+    hw.label = "PdesSweep/hw_threads";
+    hw.value = static_cast<double>(std::thread::hardware_concurrency());
+    hw.events = 0;
+    hw.wall_s = 0;
+    entries.push_back(std::move(hw));
+    bench::write_perf_json("bench_micro", entries, wall_s, 1);
+  }
   return 0;
 }

@@ -160,7 +160,11 @@ void Emc::observe(std::uint32_t job_id, pfs::FileId file,
 void Emc::start() {
   if (ticking_) return;
   ticking_ = true;
-  eng_.after(params_.emc_slot, [this] {
+  // The EMC tick reads every server's trace and every job's progress, so on
+  // a partitioned engine it must run on the exclusive lane: all lanes are
+  // quiescent at the tick's timestamp. (exclusive_lane() is 0 — plain
+  // lane-0 scheduling — when the engine is unpartitioned.)
+  eng_.after_in(eng_.exclusive_lane(), params_.emc_slot, [this] {
     ticking_ = false;
     tick();
     // Keep evaluating while any registered job is live.

@@ -1,9 +1,21 @@
 #include "harness/testbed.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace dpar::harness {
+
+unsigned pdes_workers_from_env() {
+  const char* s = std::getenv("DPAR_PDES_WORKERS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0 || v > 1024)
+    throw std::invalid_argument(
+        "DPAR_PDES_WORKERS must be an integer in [0, 1024]");
+  return static_cast<unsigned>(v);
+}
 
 namespace {
 std::unique_ptr<disk::BlockDevice> make_device(sim::Engine& eng,
@@ -36,6 +48,26 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   // on [S+1, S+1+C).
   const std::uint32_t total_nodes = cfg_.data_servers + 1 + cfg_.compute_nodes;
   net_ = std::make_unique<net::Network>(eng_, total_nodes, cfg_.net);
+
+  // Conservative PDES: one lane per data server, one shared lane for the
+  // compute/metadata side, one exclusive lane for the EMC and monitor ticks
+  // that read cross-lane state. The fabric's switch latency is the lookahead
+  // (every cross-lane interaction is a network message, and every message
+  // pays at least the switch hop). Fault plans force the serial engine: the
+  // robust I/O path cancels cross-server timeout events mid-flight, which
+  // the lane protocol forbids.
+  const unsigned pdes_workers = cfg_.pdes_workers >= 0
+                                    ? static_cast<unsigned>(cfg_.pdes_workers)
+                                    : pdes_workers_from_env();
+  if (pdes_workers >= 1 && !cfg_.fault.enabled() && cfg_.net.switch_latency > 0) {
+    std::vector<sim::LaneId> node_lane(total_nodes, 0);
+    for (std::uint32_t s = 0; s < cfg_.data_servers; ++s)
+      node_lane[s] = eng_.add_lane();
+    eng_.add_exclusive_lane();
+    eng_.set_lookahead(cfg_.net.switch_latency);
+    eng_.set_pdes_workers(pdes_workers);
+    net_->set_node_lanes(std::move(node_lane));
+  }
 
   std::vector<pfs::DataServer*> raw_servers;
   for (std::uint32_t s = 0; s < cfg_.data_servers; ++s) {

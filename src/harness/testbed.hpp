@@ -53,7 +53,20 @@ struct TestbedConfig {
   /// created, every layer keeps its fault-free fast path and the simulation
   /// output is byte-identical to a build without the fault subsystem.
   fault::FaultPlan fault;
+  /// Conservative-PDES worker count. -1 (default) reads DPAR_PDES_WORKERS;
+  /// 0 keeps the serial single-heap engine; N >= 1 partitions the engine
+  /// into one lane per data server (plus an exclusive lane for EMC/monitor
+  /// ticks) executed by N workers, with the fabric's switch latency as
+  /// lookahead. Output is byte-identical at every N by construction.
+  /// Forced back to 0 when the fault plan is armed (the robust I/O path
+  /// cancels cross-server timeout events) or switch_latency is 0 (no
+  /// lookahead).
+  int pdes_workers = -1;
 };
+
+/// Parse DPAR_PDES_WORKERS (see TestbedConfig::pdes_workers). Unset or
+/// empty = 0. Throws std::invalid_argument on garbage.
+unsigned pdes_workers_from_env();
 
 class Testbed {
  public:

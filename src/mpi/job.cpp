@@ -176,7 +176,10 @@ void Job::release_barrier_if_ready() {
   barrier_payload_ = 0;
   auto waiters = std::move(barrier_waiters_);
   barrier_waiters_.clear();
-  for (auto& w : waiters) eng_.after(cost, std::move(w));
+  // One release event for the whole round: the resumes would get consecutive
+  // sequence numbers anyway, so batching preserves order while cutting P
+  // heap entries to 1 per barrier.
+  eng_.after_all(cost, std::move(waiters));
 }
 
 bool Job::all_parked() const {

@@ -80,7 +80,10 @@ void CollectiveDriver::run_round(std::uint32_t job_id) {
     }
   }
   if (useful == 0) {  // nothing to move; release everyone after a barrier hop
-    for (auto& e : *entries) eng.after(sim::usec(100), std::move(e.done));
+    std::vector<sim::UniqueFunction> dones;
+    dones.reserve(entries->size());
+    for (auto& e : *entries) dones.push_back(std::move(e.done));
+    eng.after_all(sim::usec(100), std::move(dones));
     return;
   }
 
@@ -164,7 +167,12 @@ void CollectiveDriver::run_round(std::uint32_t job_id) {
 
   // ---- Execute the phases. ----
   auto finish_all = [entries, &eng, cpu] {
-    for (auto& e : *entries) eng.after(cpu, std::move(e.done));
+    // One completion event per collective round instead of one per rank;
+    // consecutive sequence numbers cannot interleave, so order is unchanged.
+    std::vector<sim::UniqueFunction> dones;
+    dones.reserve(entries->size());
+    for (auto& e : *entries) dones.push_back(std::move(e.done));
+    eng.after_all(cpu, std::move(dones));
   };
 
   auto do_agg_io = [this, aggs, file, is_write, entries, shuffle_map, finish_all,

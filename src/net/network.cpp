@@ -4,31 +4,50 @@
 #include <utility>
 
 #include "fault/injector.hpp"
+#include "sim/debug.hpp"
 
 namespace dpar::net {
 
 Network::Network(sim::Engine& eng, std::uint32_t num_nodes, NetParams params)
-    : eng_(eng), params_(params), jitter_rng_(params.seed) {
+    : eng_(eng), params_(params) {
   nics_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     Nic nic;
-    nic.tx = std::make_unique<sim::FifoResource>(eng_);
+    // Independent per-sender streams off the one configured seed.
+    nic.jitter = sim::Rng(sim::splitmix64(params_.seed ^ (0xa076'1d64'78bd'642fULL + i)));
     nic.rx = std::make_unique<sim::FifoResource>(eng_);
     nics_.push_back(std::move(nic));
   }
 }
 
+void Network::set_node_lanes(std::vector<sim::LaneId> lanes) {
+  if (!lanes.empty() && lanes.size() != nics_.size())
+    throw std::invalid_argument("Network::set_node_lanes: one lane per node");
+  node_lane_ = std::move(lanes);
+}
+
+std::uint64_t Network::messages_sent() const {
+  std::uint64_t n = 0;
+  for (const Nic& nic : nics_) n += nic.messages;
+  return n;
+}
+
+std::uint64_t Network::bytes_sent() const {
+  std::uint64_t n = 0;
+  for (const Nic& nic : nics_) n += nic.bytes;
+  return n;
+}
+
 namespace {
 
 /// In-flight remote message. A UniqueFunction is too big to re-capture at
-/// each stage (tx -> switch hop -> rx) without spilling past the inline
-/// buffers, so the callback and routing state live in one heap record and
-/// every stage's lambda captures a single pointer.
+/// the arrival stage without spilling past the inline buffers, so the
+/// callback and routing state live in one heap record and the arrival
+/// lambda captures a single pointer.
 struct Transit {
   Network* net;
-  NodeId to;
-  std::uint64_t wire_bytes;
-  sim::Time hop;
+  sim::FifoResource* rx;
+  sim::Time rx_time;
   sim::UniqueFunction cb;
 };
 
@@ -38,44 +57,55 @@ void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
                    sim::UniqueFunction delivered) {
   if (from >= nics_.size() || to >= nics_.size())
     throw std::out_of_range("Network::send: bad node id");
-  ++messages_;
-  bytes_ += bytes;
+  Nic& src = nics_[from];
+  ++src.messages;
+  src.bytes += bytes;
   if (from == to) {
     // Local delivery: memory copy, no NIC involvement. Charge a token cost so
-    // that local cache hits are cheap but not free.
+    // that local cache hits are cheap but not free. Stays in the sender's own
+    // lane, so the plain scheduling call is lane-safe.
+    // dpar-lint: allow(pdes-lane-channel) loopback never crosses a lane
     eng_.after(sim::usec(5) + sim::transfer_time(bytes, 4e9), std::move(delivered));
     return;
   }
+  const sim::Time now = eng_.now();
   const std::uint64_t wire_bytes = bytes + params_.per_message_header;
   const sim::Time tx_time = sim::transfer_time(wire_bytes, params_.bandwidth_bytes_per_s);
+  // Closed-form TX FIFO: messages leave in submission order, so the finish
+  // time needs no completion event — just the running free-at register.
+  const sim::Time tx_start = src.tx_free_at > now ? src.tx_free_at : now;
+  const sim::Time tx_finish = tx_start + tx_time;
+  src.tx_free_at = tx_finish;
+  src.tx_busy += tx_time;
   sim::Time hop =
       params_.switch_latency +
       (params_.latency_jitter > 0
-           ? static_cast<sim::Time>(jitter_rng_.uniform(
+           ? static_cast<sim::Time>(src.jitter.uniform(
                  static_cast<std::uint64_t>(params_.latency_jitter)))
            : 0);
   if (injector_) {
     sim::Time extra = 0;
-    if (!injector_->net_deliver(from, to, eng_.now(), extra)) {
-      // The message still burns the sender's TX path, then vanishes in the
-      // fabric: `delivered` is destroyed unfired and the sender finds out by
-      // timing out. Jitter was already drawn above, so a dropped message
-      // perturbs no later message's latency.
-      nics_[from].tx->submit(tx_time, [] {});
+    if (!injector_->net_deliver(from, to, now, extra)) {
+      // The message still burned the sender's TX path (accounted above),
+      // then vanishes in the fabric: `delivered` is destroyed unfired and
+      // the sender finds out by timing out. Jitter was already drawn, so a
+      // dropped message perturbs no later message's latency.
       return;
     }
     hop += extra;
   }
-  auto* t = new Transit{this, to, wire_bytes, hop, std::move(delivered)};
-  nics_[from].tx->submit(tx_time, [t] {
-    t->net->eng_.after(t->hop, [t] {
-      const sim::Time rx_time = sim::transfer_time(
-          t->wire_bytes, t->net->params_.bandwidth_bytes_per_s);
-      sim::FifoResource& rx = *t->net->nics_[t->to].rx;
-      sim::UniqueFunction cb = std::move(t->cb);
-      delete t;
-      rx.submit(rx_time, std::move(cb));
-    });
+  // Arrival = TX drain + switch hop, scheduled straight into the receiver's
+  // lane. hop >= switch_latency == the engine lookahead, so the arrival is
+  // provably outside the current safe window — this is the cross-LP channel.
+  const sim::Time rx_time =
+      sim::transfer_time(wire_bytes, params_.bandwidth_bytes_per_s);
+  auto* t = new Transit{this, nics_[to].rx.get(), rx_time, std::move(delivered)};
+  eng_.at_in(lane_of(to), tx_finish + hop, [t] {
+    const sim::Time rx_time = t->rx_time;
+    sim::FifoResource& rx = *t->rx;
+    sim::UniqueFunction cb = std::move(t->cb);
+    delete t;
+    rx.submit(rx_time, std::move(cb));
   });
 }
 

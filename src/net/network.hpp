@@ -5,6 +5,15 @@
 // Gigabit Ethernet). A message occupies the sender's TX path, crosses the
 // switch with a fixed latency, then occupies the receiver's RX path — so
 // incast at a data server or a memcached home node queues naturally.
+//
+// The TX path is computed in closed form rather than simulated with events:
+// messages leave a NIC in submission order, so the transmit-finish time is
+// just max(tx_free_at, now) + tx_time — one running register per NIC instead
+// of one completion event per message. Only the arrival (switch hop + RX
+// FIFO) is an event, and it is scheduled directly into the *receiver's*
+// lane, which makes `send` the designated cross-LP channel of the
+// conservative-PDES engine: the switch latency is the lookahead, so every
+// arrival lands safely past the current window.
 #pragma once
 
 #include <cstdint>
@@ -50,29 +59,46 @@ class Network {
   std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nics_.size()); }
   const NetParams& params() const { return params_; }
 
+  /// Map each node to the engine lane that owns its state. Arrivals are
+  /// scheduled into the receiving node's lane; `send` is then the inter-LP
+  /// channel of a partitioned engine. Unset (or on an unpartitioned engine)
+  /// everything runs in lane 0.
+  void set_node_lanes(std::vector<sim::LaneId> lanes);
+  sim::LaneId lane_of(NodeId n) const {
+    return node_lane_.empty() ? 0 : node_lane_[n];
+  }
+
   /// Arm fault injection: remote messages may be dropped (the callback is
   /// destroyed unfired — the sender learns via its own timeout) or delayed.
   /// Loopback delivery is exempt. Null (the default) disables the hook.
   void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
 
-  std::uint64_t messages_sent() const { return messages_; }
-  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
   /// TX busy time of one node, for utilization reporting.
-  sim::Time tx_busy_time(NodeId n) const { return nics_[n].tx->busy_time(); }
+  sim::Time tx_busy_time(NodeId n) const { return nics_[n].tx_busy; }
 
  private:
   struct Nic {
-    std::unique_ptr<sim::FifoResource> tx;
+    /// Closed-form TX path: when the transmit FIFO drains. Messages leave in
+    /// submission order, so no per-message completion event is needed.
+    sim::Time tx_free_at = 0;
+    sim::Time tx_busy = 0;
+    std::uint64_t messages = 0;  ///< messages sent by this node
+    std::uint64_t bytes = 0;     ///< payload bytes sent by this node
+    /// Per-sender jitter stream. A single shared stream would make draw
+    /// order (and thus every latency) depend on cross-lane event
+    /// interleaving; one stream per sender is touched only by the lane that
+    /// owns the sender, keeping jitter identical at every worker count.
+    sim::Rng jitter;
     std::unique_ptr<sim::FifoResource> rx;
   };
 
   sim::Engine& eng_;
   NetParams params_;
   std::vector<Nic> nics_;
+  std::vector<sim::LaneId> node_lane_;  ///< empty = everything in lane 0
   fault::FaultInjector* injector_ = nullptr;
-  sim::Rng jitter_rng_;
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace dpar::net

@@ -141,8 +141,28 @@ void DataServer::handle(ServerIoRequest req) {
     ctx->outstanding = ctx->req.runs.size() + 1;
     // Decompose the whole list-I/O request first, then hand the disk every
     // miss in one submit_batch() call — the scheduler sorts the batch as a
-    // unit instead of paying a queue walk per run.
+    // unit instead of paying a queue walk per run. Runs that are exactly
+    // adjacent on this server's extent (a striped client segment lands here
+    // as a train of locally-contiguous chunks) coalesce into one disk
+    // request, so the train costs one completion event per (server, request)
+    // span instead of one per chunk.
     std::vector<disk::Request> batch;
+    // Byte span and merged-run count of the batch's trailing request, for
+    // the coalesced cache insert and fan-in.
+    std::uint64_t tail_offset = 0, tail_end = 0, tail_runs = 0;
+    auto seal_tail = [this, ctx, &batch, &tail_offset, &tail_end, &tail_runs] {
+      if (batch.empty() || tail_runs == 0) return;
+      const std::uint64_t off = tail_offset, len = tail_end - tail_offset,
+                          n = tail_runs;
+      batch.back().done = [this, ctx, off, len, n](fault::Status st) {
+        // A failed span caches nothing: the sectors never produced data.
+        if (cache_.enabled() && fault::ok(st)) cache_.insert(ctx->req.file, off, len);
+        // One decrement per coalesced run keeps the fan-in count identical
+        // to the uncoalesced layout.
+        for (std::uint64_t i = 0; i < n; ++i) ctx->complete_one(st);
+      };
+      tail_runs = 0;
+    };
     batch.reserve(ctx->req.runs.size());
     for (const ServerRun& run : ctx->req.runs) {
       // Page cache: resident reads skip the disk entirely; misses may be
@@ -166,23 +186,31 @@ void DataServer::handle(ServerIoRequest req) {
         length += ra;
       }
       if (!ctx->req.is_write) disk_bytes_read_ += length;
+      const std::uint64_t lba = extent.base_lba + run.local_offset / disk::kSectorBytes;
+      const std::uint64_t sectors = disk::bytes_to_sectors(length);
+      if (lba + sectors > extent.base_lba + extent.sectors + 8)
+        throw std::runtime_error("DataServer::handle: run beyond extent");
+      if (tail_runs > 0 && batch.back().lba + batch.back().sectors == lba &&
+          tail_end == run.local_offset) {
+        // Contiguous with the previous miss: grow that disk request in place.
+        batch.back().sectors += static_cast<std::uint32_t>(sectors);
+        tail_end = run.local_offset + length;
+        ++tail_runs;
+        continue;
+      }
+      seal_tail();
       disk::Request dr;
       dr.id = next_req_id_++;
-      dr.lba = extent.base_lba + run.local_offset / disk::kSectorBytes;
-      dr.sectors = static_cast<std::uint32_t>(disk::bytes_to_sectors(length));
-      if (dr.lba + dr.sectors > extent.base_lba + extent.sectors + 8)
-        throw std::runtime_error("DataServer::handle: run beyond extent");
+      dr.lba = lba;
+      dr.sectors = static_cast<std::uint32_t>(sectors);
       dr.is_write = ctx->req.is_write;
       dr.context = params_.single_disk_context ? 0 : ctx->req.context;
-      const std::uint64_t local_offset = run.local_offset;
-      dr.done = [this, ctx, local_offset, length](fault::Status st) {
-        // A failed run caches nothing: the sectors never produced data.
-        if (cache_.enabled() && fault::ok(st))
-          cache_.insert(ctx->req.file, local_offset, length);
-        ctx->complete_one(st);
-      };
       batch.push_back(std::move(dr));
+      tail_offset = run.local_offset;
+      tail_end = run.local_offset + length;
+      tail_runs = 1;
     }
+    seal_tail();
     if (!batch.empty()) dev_->submit_batch(std::move(batch));
     ctx->complete_one();
   });

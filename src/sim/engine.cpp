@@ -1,200 +1,656 @@
 #include "sim/engine.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "sim/debug.hpp"
 
 namespace dpar::sim {
 
-std::uint32_t Engine::alloc_slot_() {
-  if (free_head_ != 0) {
-    const std::uint32_t slot = free_head_ - 1;
-    free_head_ = slots_[slot].next_free;
-    slots_[slot].next_free = 0;
-    return slot;
+namespace {
+constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+}  // namespace
+
+/// One logical process: a private event heap, slab, clock and sequence
+/// counter, plus the outbox channel that carries its cross-lane posts to the
+/// next window barrier. During a parallel window a lane is touched by exactly
+/// one worker thread; between windows only the coordinating thread touches
+/// any lane (the barrier's mutex orders the two regimes).
+struct Engine::Lane {
+  struct Slot {
+    Callback cb;
+    std::uint32_t next_free = 0;  ///< freelist link (index + 1; 0 = none).
+  };
+  struct Key {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  /// A timestamped cross-lane message awaiting delivery at the barrier.
+  struct Post {
+    LaneId to;
+    Time t;
+    Callback cb;
+  };
+
+  // (t, seq) packed into one 128-bit value: a single branchless compare.
+  // Valid because t >= 0 always (scheduling rejects the past, clocks start
+  // at 0), so the int64 -> uint64 cast preserves order. __extension__ keeps
+  // -Wpedantic (and thus the -Werror CI builds) quiet about the GNU type.
+  __extension__ typedef unsigned __int128 Pri;
+  static Pri pri(const Key& k) {
+    return (static_cast<Pri>(static_cast<std::uint64_t>(k.t)) << 64) | k.seq;
   }
-  if (slots_.size() == slots_.capacity()) {
-    // Moving a Slot runs the callback's relocate hook per element; grow in
-    // big steps so slab growth stays a rare event.
-    const std::size_t cap = slots_.capacity() < 256 ? 256 : slots_.capacity() * 2;
-    slots_.reserve(cap);
-    gens_.reserve(cap);
-    heap_.reserve(cap);
+  static bool before(const Key& a, const Key& b) { return pri(a) < pri(b); }
+  bool stale_key(const Key& k) const { return gens[k.slot] != k.gen; }
+
+  std::uint32_t alloc_slot() {
+    if (free_head != 0) {
+      const std::uint32_t s = free_head - 1;
+      free_head = slots[s].next_free;
+      slots[s].next_free = 0;
+      return s;
+    }
+    if (slots.size() == slots.capacity()) {
+      // Moving a Slot runs the callback's relocate hook per element; grow in
+      // big steps so slab growth stays a rare event.
+      const std::size_t cap = slots.capacity() < 256 ? 256 : slots.capacity() * 2;
+      slots.reserve(cap);
+      gens.reserve(cap);
+      heap.reserve(cap);
+    }
+    slots.emplace_back();
+    gens.push_back(1);
+    return static_cast<std::uint32_t>(slots.size() - 1);
   }
-  slots_.emplace_back();
-  gens_.push_back(1);
-  return static_cast<std::uint32_t>(slots_.size() - 1);
-}
 
-void Engine::free_slot_(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.cb.reset();
-  if (++gens_[slot] == 0) gens_[slot] = 1;  // keep 0 reserved for "no event"
-  s.next_free = free_head_;
-  free_head_ = slot + 1;
-}
-
-void Engine::push_key_(const Key& k) {
-  heap_.push_back(k);
-  sift_up_(heap_.size() - 1);
-}
-
-void Engine::pop_min_() {
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down_(0);
-}
-
-void Engine::sift_up_(std::size_t i) {
-  const Key k = heap_[i];
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!before_(k, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
+  void free_slot(std::uint32_t slot) {
+    Slot& s = slots[slot];
+    s.cb.reset();
+    if (++gens[slot] == 0) gens[slot] = 1;  // keep 0 reserved for "no event"
+    s.next_free = free_head;
+    free_head = slot + 1;
   }
-  heap_[i] = k;
-}
 
-void Engine::sift_down_(std::size_t i) {
-  const std::size_t n = heap_.size();
-  const Key k = heap_[i];
-  for (;;) {
-    const std::size_t first = 4 * i + 1;
-    if (first >= n) break;
-    const std::size_t last = first + 4 < n ? first + 4 : n;
-    std::size_t best = first;
-    for (std::size_t c = first + 1; c < last; ++c)
-      if (before_(heap_[c], heap_[best])) best = c;
-    if (!before_(heap_[best], k)) break;
-    heap_[i] = heap_[best];
-    i = best;
+  void push_key(const Key& k) {
+    heap.push_back(k);
+    sift_up(heap.size() - 1);
   }
-  heap_[i] = k;
-}
 
-void Engine::compact_() {
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < heap_.size(); ++i)
-    if (!stale_key_(heap_[i])) heap_[out++] = heap_[i];
-  heap_.resize(out);
-  // Rebuild the heap property bottom-up (Floyd): only internal nodes sift.
-  if (out > 1)
-    for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) sift_down_(i);
-  stale_ = 0;
-  DPAR_IF_CHECKING(check_invariants());
-}
+  void pop_min() {
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) sift_down(0);
+  }
 
-void Engine::check_invariants() const {
-  // Heap property: no child orders before its parent.
-  for (std::size_t i = 1; i < heap_.size(); ++i)
-    DPAR_ASSERT(!before_(heap_[i], heap_[(i - 1) / 4]),
-                "event heap: child precedes its parent");
-  // Key validity and live/stale bookkeeping.
-  std::size_t live_keys = 0;
-  std::size_t stale_keys = 0;
-  for (const Key& k : heap_) {
-    DPAR_ASSERT(k.slot < slots_.size(), "event heap: key slot out of range");
-    DPAR_ASSERT(k.gen != 0, "event heap: key with reserved generation 0");
-    if (stale_key_(k)) {
-      ++stale_keys;
-    } else {
-      ++live_keys;
-      DPAR_ASSERT(static_cast<bool>(slots_[k.slot].cb),
-                  "event heap: live key whose slot has no callback");
-      DPAR_ASSERT(k.t >= now_, "event heap: live key scheduled in the past");
+  void sift_up(std::size_t i) {
+    const Key k = heap[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(k, heap[parent])) break;
+      heap[i] = heap[parent];
+      i = parent;
+    }
+    heap[i] = k;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap.size();
+    const Key k = heap[i];
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (before(heap[c], heap[best])) best = c;
+      if (!before(heap[best], k)) break;
+      heap[i] = heap[best];
+      i = best;
+    }
+    heap[i] = k;
+  }
+
+  void compact() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < heap.size(); ++i)
+      if (!stale_key(heap[i])) heap[out++] = heap[i];
+    heap.resize(out);
+    // Rebuild the heap property bottom-up (Floyd): only internal nodes sift.
+    if (out > 1)
+      for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) sift_down(i);
+    stale = 0;
+    DPAR_IF_CHECKING(check_invariants());
+  }
+
+  /// Drop stale keys off the top; the earliest live event time, or kNoEvent.
+  Time next_time() {
+    while (!heap.empty() && stale_key(heap.front())) {
+      pop_min();
+      --stale;
+    }
+    return heap.empty() ? kNoEvent : heap.front().t;
+  }
+
+  void check_invariants() const {
+    // Heap property: no child orders before its parent.
+    for (std::size_t i = 1; i < heap.size(); ++i)
+      DPAR_ASSERT(!before(heap[i], heap[(i - 1) / 4]),
+                  "event heap: child precedes its parent");
+    // Key validity and live/stale bookkeeping.
+    std::size_t live_keys = 0;
+    std::size_t stale_keys = 0;
+    for (const Key& k : heap) {
+      DPAR_ASSERT(k.slot < slots.size(), "event heap: key slot out of range");
+      DPAR_ASSERT(k.gen != 0, "event heap: key with reserved generation 0");
+      if (stale_key(k)) {
+        ++stale_keys;
+      } else {
+        ++live_keys;
+        DPAR_ASSERT(static_cast<bool>(slots[k.slot].cb),
+                    "event heap: live key whose slot has no callback");
+        DPAR_ASSERT(k.t >= now, "event heap: live key scheduled in the past");
+      }
+    }
+    DPAR_ASSERT(live_keys == live, "event heap: live-event count out of sync");
+    DPAR_ASSERT(stale_keys == stale, "event heap: stale-key count out of sync");
+    DPAR_ASSERT(gens.size() == slots.size(),
+                "event slab: generation array not parallel to slots");
+    // Freelist: every link in range, no slot visited twice, no free slot
+    // holding a callback.
+    std::vector<bool> seen(slots.size(), false);
+    for (std::uint32_t head = free_head; head != 0;
+         head = slots[head - 1].next_free) {
+      const std::uint32_t slot = head - 1;
+      DPAR_ASSERT(slot < slots.size(), "event slab: freelist link out of range");
+      DPAR_ASSERT(!seen[slot], "event slab: freelist cycle");
+      DPAR_ASSERT(!slots[slot].cb, "event slab: free slot holds a callback");
+      seen[slot] = true;
     }
   }
-  DPAR_ASSERT(live_keys == live_, "event heap: live-event count out of sync");
-  DPAR_ASSERT(stale_keys == stale_, "event heap: stale-key count out of sync");
-  DPAR_ASSERT(gens_.size() == slots_.size(),
-              "event slab: generation array not parallel to slots");
-  // Freelist: every link in range, no slot visited twice, no free slot
-  // holding a callback.
-  std::vector<bool> seen(slots_.size(), false);
-  for (std::uint32_t head = free_head_; head != 0;
-       head = slots_[head - 1].next_free) {
-    const std::uint32_t slot = head - 1;
-    DPAR_ASSERT(slot < slots_.size(), "event slab: freelist link out of range");
-    DPAR_ASSERT(!seen[slot], "event slab: freelist cycle");
-    DPAR_ASSERT(!slots_[slot].cb, "event slab: free slot holds a callback");
-    seen[slot] = true;
-  }
+
+  LaneId id = 0;
+  bool exclusive = false;
+  std::vector<Key> heap;    ///< 4-ary min-heap of event keys.
+  std::vector<Slot> slots;  ///< slab of callbacks, free-listed.
+  /// Slot generations, parallel to slots (bumped on every free; tags
+  /// EventId/Key). Kept out of Slot so stale-key checks and compaction scan
+  /// a dense u32 array instead of striding over fat callback slots.
+  std::vector<std::uint32_t> gens;
+  std::uint32_t free_head = 0;  ///< freelist head (index + 1; 0 = empty).
+  std::size_t live = 0;
+  std::size_t stale = 0;  ///< cancelled keys still in heap.
+  Time now = 0;
+  std::uint64_t next_seq = 1;
+  std::uint64_t fired = 0;
+  std::vector<Post> outbox;
+};
+
+thread_local Engine::Lane* Engine::t_lane_ = nullptr;
+
+Engine::Engine() {
+  lanes_.push_back(std::make_unique<Lane>());
+  lane0_ = lanes_.front().get();
+}
+
+Engine::~Engine() = default;
+
+Time Engine::pdes_now_() const { return t_lane_->now; }
+
+LaneId Engine::current_lane() const {
+  if (pdes_parallel_) return t_lane_->id;
+  return cur_lane_;
+}
+
+LaneId Engine::add_lane() {
+  if (in_window_)
+    throw std::logic_error("Engine::add_lane: cannot add lanes mid-run");
+  auto lane = std::make_unique<Lane>();
+  lane->id = static_cast<LaneId>(lanes_.size());
+  lanes_.push_back(std::move(lane));
+  lane0_ = lanes_.front().get();
+  return lanes_.back()->id;
+}
+
+LaneId Engine::add_exclusive_lane() {
+  if (excl_ != 0)
+    throw std::logic_error("Engine::add_exclusive_lane: already created");
+  excl_ = add_lane();
+  lanes_[excl_]->exclusive = true;
+  return excl_;
+}
+
+void Engine::set_lookahead(Time l) {
+  if (l < 0) throw std::invalid_argument("Engine::set_lookahead: negative");
+  lookahead_ = l;
+}
+
+void Engine::set_pdes_workers(unsigned w) {
+  workers_ = w == 0 ? 1 : w;
+}
+
+EventId Engine::schedule_(Lane& L, Time t, Callback cb) {
+  const std::uint32_t slot = L.alloc_slot();
+  const std::uint32_t gen = L.gens[slot];
+  L.slots[slot].cb = std::move(cb);
+  L.push_key(Lane::Key{t, L.next_seq++, slot, gen});
+  ++L.live;
+  return EventId{slot, gen, L.id};
 }
 
 EventId Engine::at(Time t, Callback cb) {
-  if (t < now_) throw std::invalid_argument("Engine::at: time in the past");
-  const std::uint32_t slot = alloc_slot_();
-  const std::uint32_t gen = gens_[slot];
-  slots_[slot].cb = std::move(cb);
-  push_key_(Key{t, next_seq_++, slot, gen});
-  ++live_;
-  return EventId{slot, gen};
+  Lane& L = pdes_parallel_ ? *t_lane_ : lane_(cur_lane_);
+  if (t < L.now) throw std::invalid_argument("Engine::at: time in the past");
+  return schedule_(L, t, std::move(cb));
 }
 
 EventId Engine::after(Time delay, Callback cb) {
-  if (delay > std::numeric_limits<Time>::max() - now_)
+  const Time base = now();
+  if (delay > std::numeric_limits<Time>::max() - base)
     throw std::overflow_error(
         "Engine::after: now() + delay overflows simulated time");
-  return at(now_ + delay, std::move(cb));
+  return at(base + delay, std::move(cb));
+}
+
+EventId Engine::at_in(LaneId lane, Time t, Callback cb) {
+  if (lane >= lanes_.size())
+    throw std::out_of_range("Engine::at_in: bad lane id");
+  const LaneId cur = current_lane();
+  if (in_window_ && lane != cur) {
+    // Cross-lane post during a window: the target heap may be executing on
+    // another worker, so the event travels through the calling lane's outbox
+    // channel and is delivered (with a deterministic target sequence number)
+    // at the barrier. The conservative protocol is only sound if the post
+    // lands at or past the window horizon — i.e. the caller kept the
+    // lookahead contract.
+    DPAR_ASSERT(t >= horizon_,
+                "PDES: cross-lane event inside the lookahead window");
+    lane_(cur).outbox.push_back(Lane::Post{lane, t, std::move(cb)});
+    return EventId{};
+  }
+  Lane& L = lane_(lane);
+  if (t < L.now) throw std::invalid_argument("Engine::at_in: time in the past");
+  return schedule_(L, t, std::move(cb));
+}
+
+EventId Engine::after_in(LaneId lane, Time delay, Callback cb) {
+  const Time base = now();
+  if (delay > std::numeric_limits<Time>::max() - base)
+    throw std::overflow_error(
+        "Engine::after_in: now() + delay overflows simulated time");
+  return at_in(lane, base + delay, std::move(cb));
+}
+
+EventId Engine::at_all(Time t, std::vector<Callback> cbs) {
+  if (cbs.empty()) return EventId{};
+  if (cbs.size() == 1) return at(t, std::move(cbs.front()));
+  return at(t, [cbs = std::move(cbs)]() mutable {
+    for (auto& cb : cbs) cb();
+  });
+}
+
+EventId Engine::after_all(Time delay, std::vector<Callback> cbs) {
+  const Time base = now();
+  if (delay > std::numeric_limits<Time>::max() - base)
+    throw std::overflow_error(
+        "Engine::after_all: now() + delay overflows simulated time");
+  return at_all(base + delay, std::move(cbs));
 }
 
 bool Engine::cancel(EventId id) {
   if (!id) return false;
-  if (id.slot >= slots_.size()) return false;
-  if (gens_[id.slot] != id.gen || !slots_[id.slot].cb)
+  if (id.lane >= lanes_.size()) return false;
+  DPAR_ASSERT(!in_window_ || id.lane == current_lane(),
+              "PDES: cross-lane cancel inside a window");
+  Lane& L = lane_(id.lane);
+  if (id.slot >= L.slots.size()) return false;
+  if (L.gens[id.slot] != id.gen || !L.slots[id.slot].cb)
     return false;  // already fired or cancelled
-  free_slot_(id.slot);
-  --live_;
-  ++stale_;
+  L.free_slot(id.slot);
+  --L.live;
+  ++L.stale;
   // Amortised cleanup: never let cancelled keys dominate the heap.
-  if (stale_ >= 64 && stale_ * 2 >= heap_.size()) compact_();
+  if (L.stale >= 64 && L.stale * 2 >= L.heap.size()) L.compact();
   return true;
 }
 
 bool Engine::step() {
-  while (!heap_.empty()) {
-    const Key k = heap_.front();
-    pop_min_();
-    if (stale_key_(k)) {
-      --stale_;
+  if (partitioned())
+    throw std::logic_error("Engine::step: unavailable on a partitioned engine");
+  Lane& L = *lane0_;
+  while (!L.heap.empty()) {
+    const Lane::Key k = L.heap.front();
+    L.pop_min();
+    if (L.stale_key(k)) {
+      --L.stale;
       continue;
     }
     // Move the callback out and free the slot *before* invoking, so the
     // callback can freely schedule into the just-freed slot (reentrancy).
-    Callback cb = std::move(slots_[k.slot].cb);
-    free_slot_(k.slot);
-    --live_;
-    assert(k.t >= now_);
+    Callback cb = std::move(L.slots[k.slot].cb);
+    L.free_slot(k.slot);
+    --L.live;
+    assert(k.t >= L.now);
+    L.now = k.t;
     now_ = k.t;
-    ++fired_;
+    ++L.fired;
     cb();
     return true;
   }
   return false;
 }
 
-std::uint64_t Engine::run(std::uint64_t max_events) {
+std::uint64_t Engine::run_serial_(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;
   return n;
 }
 
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  return partitioned() ? run_pdes_(max_events, kNoEvent)
+                       : run_serial_(max_events);
+}
+
 void Engine::run_until(Time t) {
-  while (!heap_.empty()) {
-    const Key& top = heap_.front();
-    if (stale_key_(top)) {
-      pop_min_();
-      --stale_;
+  if (partitioned()) {
+    // Windows are capped at t, so every lane fires exactly its events with
+    // time <= t; then all clocks advance to the same cut.
+    run_pdes_(UINT64_MAX, t);
+    for (auto& lp : lanes_)
+      if (lp->now < t) lp->now = t;
+    if (now_ < t) now_ = t;
+    return;
+  }
+  Lane& L = *lane0_;
+  while (!L.heap.empty()) {
+    const Lane::Key& top = L.heap.front();
+    if (L.stale_key(top)) {
+      L.pop_min();
+      --L.stale;
       continue;
     }
     if (top.t > t) break;
     step();
   }
-  if (now_ < t) now_ = t;
+  if (L.now < t) {
+    L.now = t;
+    now_ = t;
+  }
+}
+
+std::uint64_t Engine::drain_lane_(Lane& L, Time horizon) {
+  std::uint64_t n = 0;
+  for (;;) {
+    while (!L.heap.empty() && L.stale_key(L.heap.front())) {
+      L.pop_min();
+      --L.stale;
+    }
+    if (L.heap.empty() || L.heap.front().t >= horizon) break;
+    const Lane::Key k = L.heap.front();
+    L.pop_min();
+    Callback cb = std::move(L.slots[k.slot].cb);
+    L.free_slot(k.slot);
+    --L.live;
+    assert(k.t >= L.now);
+    L.now = k.t;
+    if (!pdes_parallel_) now_ = k.t;
+    ++L.fired;
+    ++n;
+    cb();
+  }
+  return n;
+}
+
+void Engine::drain_outboxes_() {
+  // Lane order, then post order within a lane: the only order-sensitive step
+  // of the barrier (it assigns target sequence numbers), and it depends only
+  // on per-lane execution — never on which worker ran which lane.
+  for (auto& lp : lanes_) {
+    for (Lane::Post& p : lp->outbox) {
+      Lane& target = lane_(p.to);
+      if (p.t < target.now)
+        throw std::logic_error(
+            "PDES: cross-lane event behind the target lane's clock "
+            "(lookahead contract violated)");
+      schedule_(target, p.t, std::move(p.cb));
+    }
+    lp->outbox.clear();
+  }
+}
+
+std::uint64_t Engine::run_pdes_(std::uint64_t max_events, Time bound) {
+  if (lookahead_ <= 0)
+    throw std::logic_error(
+        "Engine::run: a partitioned engine needs a positive lookahead");
+
+  // Count the parallelizable lanes; the pool never needs more workers.
+  std::uint32_t normal_lanes = 0;
+  for (const auto& lp : lanes_)
+    if (!lp->exclusive) ++normal_lanes;
+  const unsigned participants =
+      std::min<unsigned>(workers_, normal_lanes ? normal_lanes : 1);
+
+  // ---- Window worker pool (spawned once per run) ----
+  // Window hand-off is a classic epoch barrier: the coordinator publishes a
+  // horizon and bumps the epoch under the mutex, workers claim lanes off an
+  // atomic cursor, and the last one home wakes the coordinator. All lane
+  // state is ordered by the mutex, so the only atomics are the cursor and
+  // the fired tally.
+  struct Window {
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::uint64_t epoch = 0;
+    Time horizon = 0;
+    std::uint32_t done = 0;
+    bool stop = false;
+    std::vector<Lane*> work;
+    std::atomic<std::uint32_t> cursor{0};
+    std::atomic<std::uint64_t> fired{0};
+  } win;
+  for (auto& lp : lanes_)
+    if (!lp->exclusive) win.work.push_back(lp.get());
+
+  std::vector<std::exception_ptr> errors(participants);
+
+  auto claim_and_drain = [this, &win](std::exception_ptr& err) {
+    std::uint64_t n = 0;
+    try {
+      for (;;) {
+        const std::uint32_t i =
+            win.cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= win.work.size()) break;
+        if (err) continue;  // drained lanes stay untouched after a failure
+        Lane* L = win.work[i];
+        t_lane_ = L;
+        n += drain_lane_(*L, win.horizon);
+        t_lane_ = nullptr;
+      }
+    } catch (...) {
+      err = std::current_exception();
+      t_lane_ = nullptr;
+    }
+    win.fired.fetch_add(n, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  if (participants > 1) {
+    threads.reserve(participants - 1);
+    for (unsigned w = 1; w < participants; ++w) {
+      threads.emplace_back([&win, &claim_and_drain, &errors, w] {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(win.mu);
+        for (;;) {
+          win.cv_work.wait(lk, [&] { return win.stop || win.epoch != seen; });
+          if (win.stop) return;
+          seen = win.epoch;
+          lk.unlock();
+          claim_and_drain(errors[w]);
+          lk.lock();
+          if (++win.done == 0) {}  // (done counted under the lock)
+          win.cv_done.notify_one();
+        }
+      });
+    }
+  }
+
+  auto shutdown_pool = [&] {
+    if (threads.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(win.mu);
+      win.stop = true;
+    }
+    win.cv_work.notify_all();
+    for (auto& th : threads) th.join();
+    threads.clear();
+  };
+
+  std::uint64_t fired_run = 0;
+  try {
+    while (fired_run < max_events) {
+      // Earliest pending work, split by lane kind.
+      Time t_excl = kNoEvent;
+      if (excl_ != 0) t_excl = lane_(excl_).next_time();
+      Time t_min = kNoEvent;
+      std::uint32_t runnable_hint = 0;
+      for (Lane* L : win.work) {
+        const Time t = L->next_time();
+        if (t < t_min) t_min = t;
+        if (t != kNoEvent) ++runnable_hint;
+      }
+      if (t_excl == kNoEvent && t_min == kNoEvent) break;
+      // Bounded run (run_until): stop before any event past the bound fires.
+      if ((t_excl < t_min ? t_excl : t_min) > bound) break;
+
+      if (t_excl <= t_min) {
+        // Exclusive events run one at a time with every lane quiescent: all
+        // lanes have fired exactly their events with t < t_excl, so the
+        // callback may read (and schedule into) any lane directly.
+        Lane& E = lane_(excl_);
+        const Lane::Key k = E.heap.front();
+        E.pop_min();
+        Callback cb = std::move(E.slots[k.slot].cb);
+        E.free_slot(k.slot);
+        --E.live;
+        E.now = k.t;
+        now_ = k.t;
+        cur_lane_ = excl_;
+        ++E.fired;
+        ++fired_run;
+        cb();
+        cur_lane_ = 0;
+        continue;
+      }
+
+      // Safe window: every lane may fire its events with t < horizon without
+      // hearing from any other lane — cross-lane posts are at least one
+      // lookahead away, and the next exclusive event caps the horizon.
+      Time horizon = lookahead_ > kNoEvent - t_min ? kNoEvent : t_min + lookahead_;
+      if (t_excl < horizon) horizon = t_excl;
+      // Drain is strict-<, so bound + 1 keeps events at exactly the bound.
+      if (bound < kNoEvent && horizon > bound + 1) horizon = bound + 1;
+      horizon_ = horizon;
+      in_window_ = true;
+
+      if (participants == 1 || runnable_hint <= 1) {
+        // Nothing to parallelize: run the identical windowed schedule on the
+        // calling thread (this is the whole story when pdes_workers == 1).
+        for (Lane* L : win.work) {
+          cur_lane_ = L->id;
+          now_ = L->now;
+          fired_run += drain_lane_(*L, horizon);
+        }
+        cur_lane_ = 0;
+      } else {
+        win.cursor.store(0, std::memory_order_relaxed);
+        win.fired.store(0, std::memory_order_relaxed);
+        pdes_parallel_ = true;
+        {
+          std::lock_guard<std::mutex> lk(win.mu);
+          win.horizon = horizon;
+          win.done = 0;
+          ++win.epoch;
+        }
+        win.cv_work.notify_all();
+        claim_and_drain(errors[0]);
+        {
+          std::unique_lock<std::mutex> lk(win.mu);
+          ++win.done;
+          win.cv_done.wait(lk, [&] { return win.done == participants; });
+        }
+        pdes_parallel_ = false;
+        fired_run += win.fired.load(std::memory_order_relaxed);
+        for (auto& err : errors)
+          if (err) std::rethrow_exception(err);
+      }
+
+      in_window_ = false;
+      drain_outboxes_();
+    }
+  } catch (...) {
+    pdes_parallel_ = false;
+    in_window_ = false;
+    cur_lane_ = 0;
+    shutdown_pool();
+    throw;
+  }
+  shutdown_pool();
+
+  // The run is over (or paused at the event budget): expose the frontier
+  // clock so post-run readers see a single coherent time.
+  Time latest = 0;
+  for (const auto& lp : lanes_)
+    if (lp->now > latest) latest = lp->now;
+  now_ = latest;
+  return fired_run;
+}
+
+bool Engine::empty() const {
+  for (const auto& lp : lanes_)
+    if (lp->live != 0) return false;
+  return true;
+}
+
+std::uint64_t Engine::events_fired() const {
+  std::uint64_t n = 0;
+  for (const auto& lp : lanes_) n += lp->fired;
+  return n;
+}
+
+std::size_t Engine::live_events() const {
+  std::size_t n = 0;
+  for (const auto& lp : lanes_) n += lp->live;
+  return n;
+}
+
+std::size_t Engine::slab_slots() const {
+  std::size_t n = 0;
+  for (const auto& lp : lanes_) n += lp->slots.size();
+  return n;
+}
+
+std::size_t Engine::queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& lp : lanes_) n += lp->heap.size();
+  return n;
+}
+
+void Engine::check_invariants() const {
+  for (const auto& lp : lanes_) {
+    lp->check_invariants();
+    DPAR_ASSERT(lp->outbox.empty() || in_window_,
+                "PDES: outbox posts outside a window");
+  }
+  DPAR_ASSERT(excl_ == 0 || (excl_ < lanes_.size() && lanes_[excl_]->exclusive),
+              "PDES: exclusive lane id out of sync");
 }
 
 }  // namespace dpar::sim

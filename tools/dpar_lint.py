@@ -26,6 +26,15 @@ contract"):
   uninit-config   Scalar POD members of *Config/*Params structs without an
                   initializer. An uninitialized parameter silently picks up
                   stack garbage and changes results run to run.
+  pdes-lane-channel
+                  Direct Engine at()/after() calls in a designated cross-LP
+                  file (PDES_CHANNEL_FILES). Those paths schedule work that
+                  can land in another logical process's lane; they must go
+                  through the lane-channel API (at_in/after_in, or
+                  at_all/after_all for fan-out) so the conservative-PDES
+                  lookahead contract is enforced at the call site. A plain
+                  at()/after() that provably stays in the current lane takes
+                  the allow() escape with a justification.
 
 Escape hatch: a finding is suppressed by `dpar-lint: allow(<rule>)` in a
 comment on the offending line or in the contiguous //-comment block directly
@@ -60,11 +69,27 @@ RULES = {
     "pointer-key": "pointer-keyed ordered container (pointer order is "
                    "allocator order, different every run)",
     "uninit-config": "uninitialized POD member in a *Config/*Params struct",
+    "pdes-lane-channel": "direct Engine at()/after() in a cross-LP path "
+                         "(route through at_in/after_in or at_all/after_all)",
 }
 
 # Files exempt from a rule (relative to the repo root, forward slashes).
 RULE_EXEMPT_FILES = {
     "raw-random": {"src/sim/rng.hpp"},
+}
+
+# Files where a rule applies at all (relative to the repo root). Rules not
+# listed here apply everywhere. pdes-lane-channel is scoped to the files that
+# schedule events across logical-process boundaries; the fixtures are listed
+# so the self-test corpus exercises the rule.
+RULE_ONLY_FILES = {
+    "pdes-lane-channel": {
+        "src/net/network.cpp",
+        "src/dualpar/emc.cpp",
+        "src/metrics/monitor.cpp",
+        "tools/lint_fixtures/bad.cpp",
+        "tools/lint_fixtures/good.cpp",
+    },
 }
 
 SOURCE_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
@@ -123,6 +148,14 @@ UNINIT_MEMBER_RE = re.compile(
     r"^\s*(?:" + POD_TYPES + r")\s+(\w+)\s*;\s*(?://.*)?$"
 )
 CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*(?:Config|Params))\b")
+
+# Direct Engine scheduling in a cross-LP file: an engine-named receiver
+# (`eng_`, `engine()`, ...) followed by `.at(` or `.after(`. The lane-routed
+# variants (`at_in`, `after_in`) and the batch variants (`at_all`,
+# `after_all`) do not match because the call name must end at the `(`.
+PDES_CHANNEL_RE = re.compile(
+    r"\beng\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*(?:at|after)\s*\("
+)
 
 
 class Finding:
@@ -208,10 +241,12 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
     def emit(idx, rule, detail):
         if rel in RULE_EXEMPT_FILES.get(rule, ()):
             return
+        if rule in RULE_ONLY_FILES and rel not in RULE_ONLY_FILES[rule]:
+            return
         if not allowed(lines, idx, rule):
             findings.append(Finding(rel, idx + 1, rule, detail))
 
-    # wall-clock + raw-random: line-local patterns.
+    # wall-clock + raw-random + pdes-lane-channel: line-local patterns.
     for idx, line in enumerate(clean):
         for pat in WALL_CLOCK_PATTERNS:
             if pat.search(line):
@@ -221,6 +256,8 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
             if pat.search(line):
                 emit(idx, "raw-random", RULES["raw-random"])
                 break
+        if PDES_CHANNEL_RE.search(line):
+            emit(idx, "pdes-lane-channel", RULES["pdes-lane-channel"])
 
     # pointer-key: declarations may span lines; report at the declaration's
     # first line.

@@ -74,4 +74,22 @@ struct RunConfig {
   std::uint32_t seed = 7;
 };
 
+// ---- pdes-lane-channel ---------------------------------------------------
+// This fixture file is in RULE_ONLY_FILES for the rule, standing in for a
+// cross-LP path like src/net/network.cpp.
+struct FakeEngine {
+  template <class F> void at(long, F) {}
+  template <class F> void after(long, F) {}
+  template <class F> void at_in(int, long, F) {}
+};
+struct CrossLaneSite {
+  FakeEngine eng_;
+  FakeEngine& engine() { return eng_; }
+  void deliver() {
+    eng_.at(10, [] {});                 // expect(pdes-lane-channel)
+    eng_.after(5, [] {});               // expect(pdes-lane-channel)
+    engine().after(5, [] {});           // expect(pdes-lane-channel)
+  }
+};
+
 }  // namespace fixture

@@ -69,4 +69,26 @@ struct TunableParams {
   std::vector<int> weights;  // non-POD members need no "= ..." to be defined
 };
 
+// Cross-LP file (this fixture stands in for one via RULE_ONLY_FILES): the
+// lane-routed and batch scheduling calls are the sanctioned channel, and a
+// provably lane-local call takes the allow escape with a justification.
+struct FakeEngine {
+  template <class F> void at(long, F) {}
+  template <class F> void after(long, F) {}
+  template <class F> void at_in(int, long, F) {}
+  template <class F> void after_in(int, long, F) {}
+  template <class F> void at_all(long, F) {}
+  template <class F> void after_all(long, F) {}
+};
+struct CrossLaneSite {
+  FakeEngine eng_;
+  void deliver() {
+    eng_.at_in(2, 10, [] {});
+    eng_.after_in(2, 5, [] {});
+    eng_.after_all(5, [] {});
+    // dpar-lint: allow(pdes-lane-channel) loopback stays in the sender's lane
+    eng_.after(5, [] {});
+  }
+};
+
 }  // namespace fixture
