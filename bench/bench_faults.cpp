@@ -61,8 +61,9 @@ bench::ExperimentStats run_one(bench::Variant v, const fault::FaultPlan& plan,
   st.value = tb.job_throughput_mbs(job);
   double retries = 0, failures = 0;
   if (const auto* inj = tb.fault_injector()) {
-    retries = static_cast<double>(inj->counters().client_retries);
-    failures = static_cast<double>(inj->counters().client_failures);
+    const fault::Counters c = inj->total();
+    retries = static_cast<double>(c.client_retries);
+    failures = static_cast<double>(c.client_failures);
   }
   st.aux = {sim::to_seconds(job.completion_time() - job.start_time()), retries,
             failures};
@@ -83,6 +84,11 @@ int main(int argc, char** argv) {
   const std::uint64_t scale = bench::scale_divisor(argc, argv);
   std::printf("Fault sweep (DualPar vs vanilla under injected faults, "
               "scale 1/%llu)\n", static_cast<unsigned long long>(scale));
+  // Engine-mode banner so bench rows are attributable to a worker count; the
+  // CI 1-vs-4 byte-diff filters this line out before comparing.
+  const unsigned pdes_workers = harness::pdes_workers_from_env();
+  std::printf("# engine: %s (DPAR_PDES_WORKERS=%u)\n",
+              pdes_workers >= 1 ? "pdes" : "serial", pdes_workers);
 
   bench::ExperimentPool pool;
 

@@ -467,6 +467,40 @@ void BM_LpChannelHandoff(benchmark::State& state) {
 }
 BENCHMARK(BM_LpChannelHandoff);
 
+// Window-barrier outbox drain at high lane counts: 256 lanes each fan out
+// kFan cross-lane posts per window, so every barrier merges 256 non-empty
+// per-(source,target) queues. Exercises the batched queue drain (one bulk
+// heap insert per touched pair) that replaces the per-event sift — the
+// structure that dominates barrier cost at 256+ lanes.
+void BM_LaneOutboxDrain(benchmark::State& state) {
+  constexpr int kLanes = 256;
+  constexpr int kRounds = 40;
+  constexpr int kFan = 8;
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::vector<sim::LaneId> lanes;
+    for (int i = 0; i < kLanes; ++i) lanes.push_back(eng.add_lane());
+    eng.set_lookahead(sim::usec(50));
+    eng.set_pdes_workers(1);
+    int rounds = 0;
+    std::function<void(int)> round = [&](int src) {
+      // Every lane posts kFan events into its neighbour's heap; one of them
+      // continues the chain so each window re-fills the outboxes.
+      if (++rounds > kRounds * kLanes) return;
+      const int nxt = (src + 1) % kLanes;
+      for (int f = 0; f < kFan - 1; ++f)
+        eng.after_in(lanes[nxt], sim::usec(50), [] {});
+      eng.after_in(lanes[nxt], sim::usec(50), [&round, nxt] { round(nxt); });
+    };
+    eng.at_in(lanes[0], 0, [&round] { round(0); });
+    eng.run();
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kLanes) *
+                          kRounds * kFan);
+}
+BENCHMARK(BM_LaneOutboxDrain);
+
 // Fig-4-at-256-procs wall time swept over PDES worker counts. Simulated
 // output is byte-identical at every worker count; only the wall time moves.
 // perf_smoke gates workers=4 vs workers=1 when the host has >= 4 hardware

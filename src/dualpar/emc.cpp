@@ -10,7 +10,11 @@
 namespace dpar::dualpar {
 
 Emc::Emc(sim::Engine& eng, Params params, std::vector<pfs::DataServer*> servers)
-    : eng_(eng), params_(params), servers_(std::move(servers)) {}
+    : eng_(eng), params_(params), servers_(std::move(servers)), obs_shards_(1) {}
+
+void Emc::set_lane_count(std::uint32_t lanes) {
+  if (lanes > obs_shards_.size()) obs_shards_.resize(lanes);
+}
 
 Emc::JobEntry* Emc::find_job(std::uint32_t job_id) {
   if (job_id >= slot_of_.size() || slot_of_[job_id] == 0) return nullptr;
@@ -146,15 +150,32 @@ bool Emc::latched_off(std::uint32_t job_id) const {
 
 void Emc::observe(std::uint32_t job_id, pfs::FileId file,
                   const std::vector<pfs::Segment>& segments, sim::Time) {
-  JobEntry* e = find_job(job_id);
-  if (e == nullptr) return;
-  auto& reqs = e->slot_requests;
-  auto it = std::lower_bound(
-      reqs.begin(), reqs.end(), file,
-      [](const auto& p, pfs::FileId f) { return p.first < f; });
-  if (it == reqs.end() || it->first != file)
-    it = reqs.insert(it, {file, {}});
-  it->second.insert(it->second.end(), segments.begin(), segments.end());
+  // Called from the issuing rank's lane, possibly inside a parallel window:
+  // only the lane's own shard is touched here. The job table is folded into
+  // at tick time, on the exclusive lane.
+  const sim::LaneId l = eng_.current_lane();
+  auto& shard = obs_shards_[l < obs_shards_.size() ? l : 0];
+  shard.push_back(PendingObs{job_id, file, segments});
+}
+
+void Emc::flush_observations_() {
+  // Lane order is fixed, and within a lane the buffer order is that lane's
+  // deterministic event order — but ReqDist only consumes offset multisets,
+  // so any shard interleaving would produce the same tick results anyway.
+  for (auto& shard : obs_shards_) {
+    for (PendingObs& o : shard) {
+      JobEntry* e = find_job(o.job_id);
+      if (e == nullptr) continue;
+      auto& reqs = e->slot_requests;
+      auto it = std::lower_bound(
+          reqs.begin(), reqs.end(), o.file,
+          [](const auto& p, pfs::FileId f) { return p.first < f; });
+      if (it == reqs.end() || it->first != o.file)
+        it = reqs.insert(it, {o.file, {}});
+      it->second.insert(it->second.end(), o.segments.begin(), o.segments.end());
+    }
+    shard.clear();
+  }
 }
 
 void Emc::start() {
@@ -177,6 +198,7 @@ void Emc::start() {
 
 void Emc::tick() {
   const sim::Time now = eng_.now();
+  flush_observations_();
 
   // Server-side: mean seek distance of the last completed slot, in bytes.
   double seek_sum = 0.0;

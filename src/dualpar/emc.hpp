@@ -54,9 +54,17 @@ class Emc : public mpiio::RequestObserver {
   /// Route degraded entry/exit counts into a run's fault ledger (optional).
   void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
 
-  /// ADIO request observation (client side, feeds ReqDist).
+  /// ADIO request observation (client side, feeds ReqDist). Hot path: the
+  /// observation is buffered in the calling lane's shard; tick() folds the
+  /// shards in lane order with every lane quiescent. ReqDist is computed
+  /// over offset multisets (mean_adjacent_distance sorts), so the fold
+  /// order never changes the result.
   void observe(std::uint32_t job_id, pfs::FileId file,
                const std::vector<pfs::Segment>& segments, sim::Time now) override;
+
+  /// Size the per-lane observation shards for a partitioned engine. Called
+  /// at testbed finalize; unpartitioned engines keep the single shard.
+  void set_lane_count(std::uint32_t lanes);
 
   /// Begin periodic evaluation (re-arms itself while any job is live).
   void start();
@@ -101,7 +109,17 @@ class Emc : public mpiio::RequestObserver {
     sim::Time last_switch = 0;
   };
 
+  /// One buffered observe() call, parked in its lane's shard until the next
+  /// tick. The segment vector is copied at observe time — the caller's
+  /// vector is stack-transient.
+  struct PendingObs {
+    std::uint32_t job_id;
+    pfs::FileId file;
+    std::vector<pfs::Segment> segments;
+  };
+
   void update_degraded();
+  void flush_observations_();
   JobEntry* find_job(std::uint32_t job_id);
   const JobEntry* find_job(std::uint32_t job_id) const;
 
@@ -114,6 +132,7 @@ class Emc : public mpiio::RequestObserver {
   // side table for O(1) lookup on the per-op paths (observe, mode).
   std::vector<JobEntry> entries_;
   std::vector<std::uint32_t> slot_of_;  ///< job id -> entries_ index + 1; 0 = absent
+  std::vector<std::vector<PendingObs>> obs_shards_;  ///< one per lane
   fault::FaultInjector* injector_ = nullptr;
   std::uint32_t servers_down_ = 0;
   double error_ewma_ = 0.0;

@@ -7,13 +7,33 @@
 
 namespace dpar::fault {
 
+namespace {
+// Layer tags folded into the plan seed; each (layer, locality) stream gets
+// splitmix64(seed ^ (tag + index)) so enabling faults in one layer — or
+// adding a server/node — never perturbs another stream's sequence.
+constexpr std::uint64_t kDiskTag = 0xd15c0000u;
+constexpr std::uint64_t kNetTag = 0x0e70000u;
+constexpr std::uint64_t kServerTag = 0x5e77e000u;
+
+std::vector<sim::Rng> make_streams(std::uint64_t seed, std::uint64_t tag,
+                                   std::uint32_t n) {
+  std::vector<sim::Rng> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.emplace_back(sim::splitmix64(seed ^ (tag + i)));
+  return out;
+}
+}  // namespace
+
 FaultInjector::FaultInjector(sim::Engine& eng, FaultPlan plan,
-                             std::uint32_t num_servers)
+                             std::uint32_t num_servers, std::uint32_t num_nodes)
     : eng_(eng),
       plan_(std::move(plan)),
-      disk_rng_(sim::splitmix64(plan_.seed ^ 0xd15c0000u)),
-      net_rng_(sim::splitmix64(plan_.seed ^ 0x0e70000u)),
-      server_rng_(sim::splitmix64(plan_.seed ^ 0x5e77e000u)),
+      shards_(1),
+      disk_rngs_(make_streams(plan_.seed, kDiskTag, num_servers)),
+      server_rngs_(make_streams(plan_.seed, kServerTag, num_servers)),
+      net_rngs_(make_streams(plan_.seed, kNetTag,
+                             num_nodes > 0 ? num_nodes : num_servers)),
       down_(num_servers, false) {
   plan_.validate();
   for (const auto& c : plan_.server.crashes)
@@ -25,6 +45,45 @@ FaultInjector::FaultInjector(sim::Engine& eng, FaultPlan plan,
           "FaultPlan: bad-sector range names a server that does not exist");
 }
 
+Counters& FaultInjector::counters() {
+  const sim::LaneId l = eng_.current_lane();
+  return shards_[l < shards_.size() ? l : 0];
+}
+
+void FaultInjector::set_lane_count(std::uint32_t lanes) {
+  if (lanes > shards_.size()) shards_.resize(lanes);
+}
+
+Counters FaultInjector::total() const {
+  Counters t;
+  for (const Counters& c : shards_) {
+    t.disk_media_errors += c.disk_media_errors;
+    t.disk_bad_sector_hits += c.disk_bad_sector_hits;
+    t.disk_stalls += c.disk_stalls;
+    t.net_dropped += c.net_dropped;
+    t.net_partition_drops += c.net_partition_drops;
+    t.net_delayed += c.net_delayed;
+    t.server_crashes += c.server_crashes;
+    t.server_restarts += c.server_restarts;
+    t.server_refused_requests += c.server_refused_requests;
+    t.server_lost_completions += c.server_lost_completions;
+    t.server_stalls += c.server_stalls;
+    t.client_ops_started += c.client_ops_started;
+    t.client_ops_finished += c.client_ops_finished;
+    t.client_timeouts += c.client_timeouts;
+    t.client_retries += c.client_retries;
+    t.client_recoveries += c.client_recoveries;
+    t.client_failures += c.client_failures;
+    t.client_stale_replies += c.client_stale_replies;
+    t.driver_io_errors += c.driver_io_errors;
+    t.dualpar_aborted_batches += c.dualpar_aborted_batches;
+    t.cache_invalidated_bytes += c.cache_invalidated_bytes;
+    t.emc_degraded_entries += c.emc_degraded_entries;
+    t.emc_degraded_exits += c.emc_degraded_exits;
+  }
+  return t;
+}
+
 FaultInjector::DiskVerdict FaultInjector::disk_verdict(std::uint32_t server,
                                                        std::uint64_t lba,
                                                        std::uint32_t sectors) {
@@ -32,20 +91,20 @@ FaultInjector::DiskVerdict FaultInjector::disk_verdict(std::uint32_t server,
   for (const auto& b : plan_.disk.bad_sectors) {
     if (b.server != kAllServers && b.server != server) continue;
     if (lba < b.lba + b.sectors && b.lba < lba + sectors) {
-      ++counters_.disk_bad_sector_hits;
-      ++counters_.disk_media_errors;
+      ++counters().disk_bad_sector_hits;
+      ++counters().disk_media_errors;
       v.status = Status::kMediaError;
       return v;
     }
   }
-  if (plan_.disk.media_error_rate > 0.0 &&
-      disk_rng_.chance(plan_.disk.media_error_rate)) {
-    ++counters_.disk_media_errors;
+  sim::Rng& rng = disk_rngs_[server];
+  if (plan_.disk.media_error_rate > 0.0 && rng.chance(plan_.disk.media_error_rate)) {
+    ++counters().disk_media_errors;
     v.status = Status::kMediaError;
     return v;
   }
-  if (plan_.disk.stall_rate > 0.0 && disk_rng_.chance(plan_.disk.stall_rate)) {
-    ++counters_.disk_stalls;
+  if (plan_.disk.stall_rate > 0.0 && rng.chance(plan_.disk.stall_rate)) {
+    ++counters().disk_stalls;
     v.stall = plan_.disk.stall_time;
   }
   return v;
@@ -58,26 +117,27 @@ bool FaultInjector::net_deliver(std::uint32_t from, std::uint32_t to,
     const bool pair = (p.node_a == from && p.node_b == to) ||
                       (p.node_a == to && p.node_b == from);
     if (pair && now >= p.start && now < p.end) {
-      ++counters_.net_partition_drops;
-      ++counters_.net_dropped;
+      ++counters().net_partition_drops;
+      ++counters().net_dropped;
       return false;
     }
   }
-  if (plan_.net.drop_rate > 0.0 && net_rng_.chance(plan_.net.drop_rate)) {
-    ++counters_.net_dropped;
+  sim::Rng& rng = net_rngs_[from < net_rngs_.size() ? from : 0];
+  if (plan_.net.drop_rate > 0.0 && rng.chance(plan_.net.drop_rate)) {
+    ++counters().net_dropped;
     return false;
   }
-  if (plan_.net.delay_rate > 0.0 && net_rng_.chance(plan_.net.delay_rate)) {
-    ++counters_.net_delayed;
+  if (plan_.net.delay_rate > 0.0 && rng.chance(plan_.net.delay_rate)) {
+    ++counters().net_delayed;
     extra_delay = plan_.net.delay_time;
   }
   return true;
 }
 
-sim::Time FaultInjector::server_stall() {
+sim::Time FaultInjector::server_stall(std::uint32_t server) {
   if (plan_.server.stall_rate > 0.0 &&
-      server_rng_.chance(plan_.server.stall_rate)) {
-    ++counters_.server_stalls;
+      server_rngs_[server].chance(plan_.server.stall_rate)) {
+    ++counters().server_stalls;
     return plan_.server.stall_time;
   }
   return 0;
@@ -88,10 +148,10 @@ void FaultInjector::note_server_state(std::uint32_t server, bool down) {
   down_[server] = down;
   if (down) {
     ++servers_down_;
-    ++counters_.server_crashes;
+    ++counters().server_crashes;
   } else {
     --servers_down_;
-    ++counters_.server_restarts;
+    ++counters().server_restarts;
   }
   for (const auto& l : listeners_) l(server, down);
 }

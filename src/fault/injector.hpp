@@ -3,15 +3,19 @@
 // The Testbed creates one injector per run when its FaultPlan is enabled and
 // hands a pointer to every layer; a null injector pointer is the contract for
 // "fault-free" and keeps each layer on its original fast path. Probabilistic
-// decisions draw from one RNG stream per layer (disk, net, server), all
-// derived from the plan seed with splitmix64, so enabling faults in one layer
-// never perturbs the fault sequence of another. All calls happen inside the
-// single-threaded event loop in deterministic event order, which makes the
-// whole fault history a pure function of (seed, plan).
+// decisions draw from one RNG stream per (layer, locality) — per-server disk
+// and server streams, per-sender-node network streams — all derived from the
+// plan seed with splitmix64. Each stream is consumed from exactly one PDES
+// lane in that lane's deterministic event order, so the whole fault history
+// is a pure function of (seed, plan) at every DPAR_PDES_WORKERS value,
+// including the unpartitioned engine.
 //
-// The injector is also the run's fault ledger: every layer bumps the shared
-// Counters, and server up/down transitions fan out to registered listeners
-// (EMC degradation, cache invalidation) from here.
+// The injector is also the run's fault ledger: every layer bumps Counters.
+// The ledger is sharded per lane (counters() returns the calling lane's
+// shard; total() folds the shards), so concurrent lanes never contend.
+// Server up/down transitions fan out to registered listeners (EMC
+// degradation, cache invalidation) from here; they must run on the
+// exclusive lane, which sees every lane quiescent.
 #pragma once
 
 #include <cstdint>
@@ -64,12 +68,24 @@ struct Counters {
 class FaultInjector {
  public:
   /// Validates the plan (std::invalid_argument on a malformed one).
-  /// `num_servers` bounds crash entries and sizes the down-state table.
-  FaultInjector(sim::Engine& eng, FaultPlan plan, std::uint32_t num_servers);
+  /// `num_servers` bounds crash entries and sizes the down-state table and
+  /// the per-server RNG streams; `num_nodes` sizes the per-sender network
+  /// streams (0 falls back to `num_servers`, enough for server-only tests).
+  FaultInjector(sim::Engine& eng, FaultPlan plan, std::uint32_t num_servers,
+                std::uint32_t num_nodes = 0);
 
   const FaultPlan& plan() const { return plan_; }
-  Counters& counters() { return counters_; }
-  const Counters& counters() const { return counters_; }
+
+  /// The calling lane's counter shard. Hot bump sites use this; aggregate
+  /// readers must use total() — there is deliberately no const overload, so
+  /// a read through a const injector fails to compile instead of silently
+  /// seeing one shard.
+  Counters& counters();
+  /// Sum of every lane's shard — the run's complete ledger.
+  Counters total() const;
+  /// Size the shard table for a partitioned engine (one shard per lane).
+  /// Counts already recorded stay in shard 0. Called at testbed finalize.
+  void set_lane_count(std::uint32_t lanes);
 
   // ---- Disk hooks (DiskDevice dispatch path) ----
   struct DiskVerdict {
@@ -86,8 +102,8 @@ class FaultInjector {
                    sim::Time& extra_delay);
 
   // ---- Data-server hooks ----
-  /// Extra service CPU for one request (0 most of the time).
-  sim::Time server_stall();
+  /// Extra service CPU for one request of `server` (0 most of the time).
+  sim::Time server_stall(std::uint32_t server);
   /// Called by DataServer::crash()/restart(); fans out to listeners.
   void note_server_state(std::uint32_t server, bool down);
   bool server_down(std::uint32_t server) const {
@@ -113,10 +129,13 @@ class FaultInjector {
  private:
   sim::Engine& eng_;
   FaultPlan plan_;
-  Counters counters_;
-  sim::Rng disk_rng_;
-  sim::Rng net_rng_;
-  sim::Rng server_rng_;
+  /// Per-lane counter shards; shards_[0] doubles as the unpartitioned shard.
+  std::vector<Counters> shards_;
+  /// Per-server streams, consumed from the server's lane only.
+  std::vector<sim::Rng> disk_rngs_;
+  std::vector<sim::Rng> server_rngs_;
+  /// Per-sender-node streams, consumed from the sender's lane only.
+  std::vector<sim::Rng> net_rngs_;
   std::vector<bool> down_;
   std::uint32_t servers_down_ = 0;
   std::vector<ServerStateListener> listeners_;

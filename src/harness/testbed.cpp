@@ -49,25 +49,11 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   const std::uint32_t total_nodes = cfg_.data_servers + 1 + cfg_.compute_nodes;
   net_ = std::make_unique<net::Network>(eng_, total_nodes, cfg_.net);
 
-  // Conservative PDES: one lane per data server, one shared lane for the
-  // compute/metadata side, one exclusive lane for the EMC and monitor ticks
-  // that read cross-lane state. The fabric's switch latency is the lookahead
-  // (every cross-lane interaction is a network message, and every message
-  // pays at least the switch hop). Fault plans force the serial engine: the
-  // robust I/O path cancels cross-server timeout events mid-flight, which
-  // the lane protocol forbids.
-  const unsigned pdes_workers = cfg_.pdes_workers >= 0
-                                    ? static_cast<unsigned>(cfg_.pdes_workers)
-                                    : pdes_workers_from_env();
-  if (pdes_workers >= 1 && !cfg_.fault.enabled() && cfg_.net.switch_latency > 0) {
-    std::vector<sim::LaneId> node_lane(total_nodes, 0);
-    for (std::uint32_t s = 0; s < cfg_.data_servers; ++s)
-      node_lane[s] = eng_.add_lane();
-    eng_.add_exclusive_lane();
-    eng_.set_lookahead(cfg_.net.switch_latency);
-    eng_.set_pdes_workers(pdes_workers);
-    net_->set_node_lanes(std::move(node_lane));
-  }
+  // The conservative-PDES lane partition is decided in finalize_partition_()
+  // at the first run(), once every job (and hence every driver's
+  // lane-splittability) is known. Only the worker count resolves here.
+  pdes_workers_ = cfg_.pdes_workers >= 0 ? static_cast<unsigned>(cfg_.pdes_workers)
+                                         : pdes_workers_from_env();
 
   std::vector<pfs::DataServer*> raw_servers;
   for (std::uint32_t s = 0; s < cfg_.data_servers; ++s) {
@@ -89,6 +75,9 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
       eng_, *net_, /*metadata_node=*/cfg_.data_servers, raw_servers,
       pfs::StripeLayout{cfg_.stripe_unit, cfg_.data_servers});
   clients_ = std::make_unique<mpiio::ClientPool>(*fs_);
+  // Pre-warm one client per compute node: with per-node lanes, for_node must
+  // never mutate the pool's map from inside a parallel window.
+  for (const net::NodeId id : compute_node_ids) clients_->ensure(id);
   cache::CacheParams cp = cfg_.cache;
   cp.chunk_bytes = cfg_.stripe_unit;  // chunk == stripe unit (§IV-D)
   cache_ = std::make_unique<cache::GlobalCache>(eng_, *net_, compute_node_ids, cp);
@@ -104,14 +93,16 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
 
   if (cfg_.fault.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(eng_, cfg_.fault,
-                                                       cfg_.data_servers);
+                                                       cfg_.data_servers, total_nodes);
     net_->set_fault_injector(injector_.get());
     fs_->set_fault_injector(injector_.get());
     emc_->set_fault_injector(injector_.get());
     for (auto& s : servers_) s->set_fault_injector(injector_.get());
     // Server up/down transitions fan out from the injector: EMC degrades (or
     // re-engages) first, then the global cache drops every clean range that
-    // was sourced from the failed server's stripes.
+    // was sourced from the failed server's stripes. Crash/restart events run
+    // on the exclusive lane (finalize_partition_ schedules them), so the
+    // fan-out may touch any lane's state.
     injector_->add_server_listener([this](std::uint32_t server, bool down) {
       emc_->note_server_state(server, down);
       if (down) {
@@ -119,13 +110,66 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
             cache_->invalidate_server(fs_->layout(), server);
       }
     });
-    // The crash/restart schedule is part of the plan: pin the events now.
-    for (const auto& c : cfg_.fault.server.crashes) {
-      pfs::DataServer* srv = servers_[c.server].get();
-      eng_.at(c.at, [srv] { srv->crash(); });
-      eng_.at(c.restart_at, [srv] { srv->restart(); });
+  }
+}
+
+void Testbed::finalize_partition_() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  // A run may split its compute side into per-node lanes only when every
+  // job's driver is rank-local (vanilla I/O) and no program exchanges
+  // point-to-point messages — the rendezvous queues, collective aggregation
+  // and ghost coordination are job-global state. The predicate depends only
+  // on the configuration and job set, never on the worker count, so eligible
+  // runs follow the split-lane coordination protocol (and its exact event
+  // timestamps) at every DPAR_PDES_WORKERS value, including 0. A pristine
+  // engine is also required: if the caller already drove the engine
+  // directly, jobs have started on the legacy schedule and lanes can no
+  // longer be added.
+  const bool pristine = eng_.events_fired() == 0 && eng_.now() == 0;
+  bool splittable = cfg_.net.switch_latency > 0 && pristine;
+  for (const auto& j : jobs_)
+    splittable = splittable && j->driver().lane_splittable() && !j->uses_p2p();
+
+  const bool lanes_on = pdes_workers_ >= 1 && cfg_.net.switch_latency > 0 && pristine;
+  if (lanes_on) {
+    const std::uint32_t total_nodes = cfg_.data_servers + 1 + cfg_.compute_nodes;
+    std::vector<sim::LaneId> node_lane(total_nodes, 0);
+    for (std::uint32_t s = 0; s < cfg_.data_servers; ++s)
+      node_lane[s] = eng_.add_lane();
+    if (splittable) {
+      for (std::uint32_t c = 0; c < cfg_.compute_nodes; ++c)
+        node_lane[cfg_.data_servers + 1 + c] = eng_.add_lane();
+    }
+    eng_.add_exclusive_lane();
+    eng_.set_lookahead(cfg_.net.switch_latency);
+    eng_.set_pdes_workers(pdes_workers_);
+    net_->set_node_lanes(std::move(node_lane));
+  }
+  if (injector_) injector_->set_lane_count(eng_.num_lanes());
+  emc_->set_lane_count(eng_.num_lanes());
+
+  // The crash/restart schedule is part of the plan: pin the events on the
+  // exclusive lane, whose events see every lane quiescent — the crash
+  // listener fan-out invalidates cache ranges and flips EMC degraded state.
+  for (const auto& c : cfg_.fault.server.crashes) {
+    pfs::DataServer* srv = servers_[c.server].get();
+    eng_.at_in(eng_.exclusive_lane(), c.at, [srv] { srv->crash(); });
+    eng_.at_in(eng_.exclusive_lane(), c.restart_at, [srv] { srv->restart(); });
+  }
+
+  coordinated_ = splittable;
+  if (coordinated_) {
+    // Re-route every start through the split-lane protocol: drop the legacy
+    // lane-0 event and emit one batched start per compute node instead.
+    for (const PendingStart& ps : pending_starts_) {
+      eng_.cancel(ps.legacy_start);
+      ps.job->enable_lane_coordination(cfg_.net.switch_latency);
+      ps.job->start_lanes(std::max(ps.at, eng_.now()));
     }
   }
+  pending_starts_.clear();
 }
 
 Testbed::~Testbed() = default;
@@ -150,26 +194,42 @@ mpi::Job& Testbed::add_job(const std::string& name, std::uint32_t nprocs,
   next_gid_ += nprocs;
   emc_->register_job(job, policy);
   mpi::Job* jp = &job;
+  if (finalized_ && coordinated_) {
+    // Job added after the first run(): the partition chose the split-lane
+    // protocol, so the new job follows it too.
+    jp->enable_lane_coordination(cfg_.net.switch_latency);
+    jp->start_lanes(std::max(start_at, eng_.now()));
+    return job;
+  }
+  sim::EventId ev;
   if (start_at <= eng_.now()) {
     // Defer to an event so construction order never matters.
-    eng_.after(0, [jp] { jp->start(); });
+    ev = eng_.after(0, [jp] { jp->start(); });
   } else {
-    eng_.at(start_at, [jp] { jp->start(); });
+    ev = eng_.at(start_at, [jp] { jp->start(); });
   }
+  // Until the first run() decides the lane partition, the start may still be
+  // re-routed through the split-lane protocol (finalize_partition_ cancels
+  // the legacy event). Driving the engine directly instead of Testbed::run
+  // keeps this legacy schedule — introspection tests rely on it.
+  if (!finalized_) pending_starts_.push_back(PendingStart{&job, start_at, ev});
   return job;
 }
 
 std::uint64_t Testbed::run(std::uint64_t max_events) {
+  finalize_partition_();
   emc_->start();
   monitor_->start();
   // Periodic idle eviction ("a chunk will be evicted if it is not used for a
   // certain period of time", §IV-D); re-arms only while jobs live so the
-  // queue can drain.
+  // queue can drain. Runs on the exclusive lane: the cache holds chunks on
+  // every compute node, so eviction is cross-lane state by nature.
   std::function<void()> evict_tick = [this, &evict_tick] {
     cache_->evict_idle(eng_.now());
-    if (!all_jobs_finished()) eng_.after(cfg_.cache.idle_eviction / 2, evict_tick);
+    if (!all_jobs_finished())
+      eng_.after_in(eng_.exclusive_lane(), cfg_.cache.idle_eviction / 2, evict_tick);
   };
-  eng_.after(cfg_.cache.idle_eviction / 2, evict_tick);
+  eng_.after_in(eng_.exclusive_lane(), cfg_.cache.idle_eviction / 2, evict_tick);
   const std::uint64_t fired = eng_.run(max_events);
   if (!all_jobs_finished())
     throw std::runtime_error("Testbed::run: event queue drained before all jobs "

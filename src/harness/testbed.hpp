@@ -55,11 +55,15 @@ struct TestbedConfig {
   fault::FaultPlan fault;
   /// Conservative-PDES worker count. -1 (default) reads DPAR_PDES_WORKERS;
   /// 0 keeps the serial single-heap engine; N >= 1 partitions the engine
-  /// into one lane per data server (plus an exclusive lane for EMC/monitor
-  /// ticks) executed by N workers, with the fabric's switch latency as
-  /// lookahead. Output is byte-identical at every N by construction.
-  /// Forced back to 0 when the fault plan is armed (the robust I/O path
-  /// cancels cross-server timeout events) or switch_latency is 0 (no
+  /// into one lane per data server — plus, when every job's driver is
+  /// lane-splittable and no program uses point-to-point messaging, one lane
+  /// per compute node — plus an exclusive lane for EMC/monitor ticks,
+  /// executed by N workers with the fabric's switch latency as lookahead.
+  /// Output is byte-identical at every N by construction: split-eligible
+  /// runs use the same exclusive-lane job-coordination protocol at every
+  /// worker count (including 0), and fault plans shard their RNG streams
+  /// and counters per lane, so `fault.enabled()` no longer forces the
+  /// serial engine. Forced back to 0 only when switch_latency is 0 (no
   /// lookahead).
   int pdes_workers = -1;
 };
@@ -121,6 +125,11 @@ class Testbed {
   double total_io_time_s() const;
 
  private:
+  /// Decide the lane partition once every job is known, create the lanes,
+  /// and schedule the deferred work (job starts, fault crash/restart events,
+  /// injector/EMC shard sizing). Called from the first run(); idempotent.
+  void finalize_partition_();
+
   TestbedConfig cfg_;
   sim::Engine eng_;
   std::unique_ptr<fault::FaultInjector> injector_;
@@ -139,6 +148,15 @@ class Testbed {
   std::vector<std::unique_ptr<mpi::Job>> jobs_;
   std::uint32_t next_gid_ = 1;
   std::uint32_t next_job_id_ = 1;
+  unsigned pdes_workers_ = 0;  ///< resolved (env applied) worker count
+  bool finalized_ = false;
+  bool coordinated_ = false;  ///< jobs use the split-lane protocol
+  struct PendingStart {
+    mpi::Job* job;
+    sim::Time at;
+    sim::EventId legacy_start;  ///< cancelled if coordination engages
+  };
+  std::vector<PendingStart> pending_starts_;
 };
 
 }  // namespace dpar::harness

@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/func.hpp"
+#include "sim/stats.hpp"
 
 namespace dpar::mpi {
 
@@ -35,6 +36,13 @@ class IoDriver {
   /// Notifications the DualPar cycle coordinator relies on.
   virtual void on_barrier_enter(Process&) {}
   virtual void on_process_end(Process&) {}
+
+  /// True when the driver only ever touches state owned by the calling
+  /// process's compute node (or crosses nodes via the Network channel), so a
+  /// job using it can run its ranks in per-compute-node PDES lanes. Drivers
+  /// with cross-rank shared state (collective aggregation, ghost/pre-execution
+  /// coordination) keep the default: the job stays on one lane.
+  virtual bool lane_splittable() const { return false; }
 
   virtual std::string name() const = 0;
 };
@@ -72,6 +80,15 @@ class Process {
   std::uint64_t bytes_written() const { return bytes_written_; }
   sim::Time finish_time() const { return finish_time_; }
 
+  /// Per-call I/O latency, recorded rank-locally so concurrent lanes never
+  /// share a histogram; Job merges the shards in rank order at read time.
+  const sim::Histogram& read_latency() const { return read_lat_; }
+  const sim::Histogram& write_latency() const { return write_lat_; }
+  void record_latency(bool is_write, sim::Time latency) {
+    (is_write ? write_lat_ : read_lat_)
+        .add(static_cast<double>(latency) / sim::kNsPerUs);
+  }
+
   /// Observed application I/O throughput (bytes per second of elapsed time
   /// spent in I/O calls); PEC uses it to bound pre-execution duration.
   double recent_io_bandwidth() const;
@@ -99,6 +116,8 @@ class Process {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
   sim::Time finish_time_ = -1;
+  sim::Histogram read_lat_;
+  sim::Histogram write_lat_;
 };
 
 class Job {
@@ -116,6 +135,24 @@ class Job {
              const ProgramFactory& factory, std::uint32_t first_global_id);
 
   void start();
+
+  /// Switch the job onto the split-lane coordination protocol: barrier
+  /// entries and rank completions are posted to the engine's exclusive lane
+  /// as notes carrying their original timestamps, `latency` (the fabric's
+  /// switch latency == the PDES lookahead) in the future, and releases go
+  /// back out as one cross-lane message per compute node. The protocol runs
+  /// identically at every worker count — including the unpartitioned engine,
+  /// where the cross-lane calls degrade to plain events — so eligible
+  /// configurations stay byte-identical across `DPAR_PDES_WORKERS`.
+  /// Must be called before start_lanes(); requires a Network fabric.
+  void enable_lane_coordination(sim::Time latency);
+  bool lane_coordinated() const { return coord_latency_ >= 0; }
+
+  /// Start every rank at absolute time `at`, batched as one event per
+  /// compute-node lane (rank order within a node). Used instead of start()
+  /// when lane coordination is enabled.
+  void start_lanes(sim::Time at);
+
   void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
 
   std::uint32_t id() const { return id_; }
@@ -128,18 +165,21 @@ class Job {
   sim::Time start_time() const { return start_time_; }
   sim::Time completion_time() const { return completion_time_; }
 
+  /// True when any rank's program issues point-to-point sends/receives; the
+  /// rendezvous queues are job-global state, so such jobs cannot split their
+  /// ranks across lanes.
+  bool uses_p2p() const { return uses_p2p_; }
+
   /// Aggregates for EMC's I/O-ratio input and throughput reporting.
   sim::Time total_io_time() const;
   sim::Time total_compute_time() const;
   std::uint64_t total_bytes() const;
 
-  /// Per-call I/O latency distribution (microseconds), read and write.
-  const sim::Histogram& read_latency() const { return read_latency_; }
-  const sim::Histogram& write_latency() const { return write_latency_; }
-  void record_latency(bool is_write, sim::Time latency) {
-    (is_write ? write_latency_ : read_latency_)
-        .add(static_cast<double>(latency) / sim::kNsPerUs);
-  }
+  /// Per-call I/O latency distribution (microseconds), read and write:
+  /// the ranks' per-process shards merged in rank order. Merging at read
+  /// time keeps the hot recording path lane-local.
+  sim::Histogram read_latency() const;
+  sim::Histogram write_latency() const;
 
   /// Barrier entry from `proc`; `resume` fires when all live ranks arrived.
   /// `payload_bytes` > 0 models a synchronizing collective (allreduce):
@@ -164,6 +204,15 @@ class Job {
  private:
   void release_barrier_if_ready();
 
+  // Split-lane coordination (exclusive-lane side). Notes carry the original
+  // rank-lane timestamps so the release time and completion time are computed
+  // from when things actually happened, not when the notes arrived.
+  void barrier_note_(std::uint32_t rank, sim::Time entered,
+                     std::uint64_t payload_bytes, sim::UniqueFunction resume);
+  void finish_note_(sim::Time ended);
+  void release_coord_barrier_if_ready_();
+  sim::LaneId rank_lane_(std::uint32_t rank);
+
   void comm_transfer(std::uint32_t src_rank, std::uint32_t dst_rank,
                      std::uint64_t bytes, sim::UniqueFunction done);
 
@@ -177,13 +226,26 @@ class Job {
   sim::Time start_time_ = -1;
   sim::Time completion_time_ = -1;
   std::function<void()> on_complete_;
+  bool uses_p2p_ = false;
+  sim::Time coord_latency_ = -1;  ///< >= 0: split-lane coordination active
 
-  // Barrier state for the current epoch.
-  std::vector<sim::UniqueFunction> barrier_waiters_;
+  // Barrier state for the current epoch. Waiters carry their rank so the
+  // release can sort them into canonical rank order — the same order the
+  // split-lane protocol uses — keeping the two paths schedule-identical.
+  struct BarrierWaiter {
+    std::uint32_t rank;
+    sim::UniqueFunction resume;
+  };
+  std::vector<BarrierWaiter> barrier_waiters_;
   std::uint64_t barrier_payload_ = 0;
 
-  sim::Histogram read_latency_;
-  sim::Histogram write_latency_;
+  // Coordinated-barrier state, touched only from the exclusive lane.
+  struct CoordWaiter {
+    std::uint32_t rank;
+    sim::Time entered;
+    sim::UniqueFunction resume;
+  };
+  std::vector<CoordWaiter> coord_waiters_;
 
   // Point-to-point rendezvous queues, keyed by (src, dst, tag).
   struct CommKey {

@@ -14,10 +14,18 @@
 
 namespace dpar::mpiio {
 
-/// One PFS client per compute node, created on demand.
+/// One PFS client per compute node, created on demand. When compute nodes
+/// run in separate PDES lanes the pool must be pre-warmed (see ensure):
+/// for_node is then a pure lookup and never mutates the map from a lane.
 class ClientPool {
  public:
   explicit ClientPool(pfs::FileSystem& fs) : fs_(fs) {}
+
+  /// Pre-create the client for `node` (setup-time, single-threaded).
+  void ensure(net::NodeId node) {
+    if (clients_.find(node) == clients_.end())
+      clients_.emplace(node, std::make_unique<pfs::Client>(fs_, node));
+  }
 
   pfs::Client& for_node(net::NodeId node) {
     auto it = clients_.find(node);

@@ -113,7 +113,7 @@ void DataServer::handle(ServerIoRequest req) {
   // fans out to the disk.
   auto* ctx = new IoCtx{std::move(req), 0};
   if (injector_) {
-    cpu += injector_->server_stall();
+    cpu += injector_->server_stall(node_);
     ctx->srv = this;
     ctx->epoch = epoch_;
   }

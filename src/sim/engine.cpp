@@ -34,9 +34,10 @@ struct Engine::Lane {
     std::uint32_t slot;
     std::uint32_t gen;
   };
-  /// A timestamped cross-lane message awaiting delivery at the barrier.
+  /// A timestamped cross-lane message awaiting delivery at the barrier. The
+  /// target lane is implied by the queue the post sits in (one queue per
+  /// (source, target) pair), so the record carries only time and callback.
   struct Post {
-    LaneId to;
     Time t;
     Callback cb;
   };
@@ -119,14 +120,20 @@ struct Engine::Lane {
     heap[i] = k;
   }
 
+  /// Restore the heap property bottom-up (Floyd): only internal nodes sift.
+  /// O(n) regardless of how disordered the tail is, which makes bulk key
+  /// appends (outbox batches) cheaper than per-key sift-up at scale.
+  void rebuild_heap() {
+    if (heap.size() > 1)
+      for (std::size_t i = (heap.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+
   void compact() {
     std::size_t out = 0;
     for (std::size_t i = 0; i < heap.size(); ++i)
       if (!stale_key(heap[i])) heap[out++] = heap[i];
     heap.resize(out);
-    // Rebuild the heap property bottom-up (Floyd): only internal nodes sift.
-    if (out > 1)
-      for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) sift_down(i);
+    rebuild_heap();
     stale = 0;
     DPAR_IF_CHECKING(check_invariants());
   }
@@ -191,7 +198,15 @@ struct Engine::Lane {
   Time now = 0;
   std::uint64_t next_seq = 1;
   std::uint64_t fired = 0;
-  std::vector<Post> outbox;
+  /// Per-target outbox channel: outq[target] queues this lane's cross-lane
+  /// posts to `target`, touched lists the non-empty queues in first-touch
+  /// order. The barrier merges whole (source, target) queues instead of
+  /// walking individual posts, so its cost scales with touched channels —
+  /// not messages — at 256+ lanes.
+  std::vector<std::vector<Post>> outq;
+  std::vector<LaneId> touched;
+
+  bool outbox_empty() const { return touched.empty(); }
 };
 
 thread_local Engine::Lane* Engine::t_lane_ = nullptr;
@@ -273,7 +288,11 @@ EventId Engine::at_in(LaneId lane, Time t, Callback cb) {
     // lookahead contract.
     DPAR_ASSERT(t >= horizon_,
                 "PDES: cross-lane event inside the lookahead window");
-    lane_(cur).outbox.push_back(Lane::Post{lane, t, std::move(cb)});
+    Lane& C = lane_(cur);
+    if (C.outq.size() < lanes_.size()) C.outq.resize(lanes_.size());
+    std::vector<Lane::Post>& q = C.outq[lane];
+    if (q.empty()) C.touched.push_back(lane);
+    q.push_back(Lane::Post{t, std::move(cb)});
     return EventId{};
   }
   Lane& L = lane_(lane);
@@ -303,6 +322,14 @@ EventId Engine::after_all(Time delay, std::vector<Callback> cbs) {
     throw std::overflow_error(
         "Engine::after_all: now() + delay overflows simulated time");
   return at_all(base + delay, std::move(cbs));
+}
+
+EventId Engine::at_all_in(LaneId lane, Time t, std::vector<Callback> cbs) {
+  if (cbs.empty()) return EventId{};
+  if (cbs.size() == 1) return at_in(lane, t, std::move(cbs.front()));
+  return at_in(lane, t, [cbs = std::move(cbs)]() mutable {
+    for (auto& cb : cbs) cb();
+  });
 }
 
 bool Engine::cancel(EventId id) {
@@ -410,19 +437,40 @@ std::uint64_t Engine::drain_lane_(Lane& L, Time horizon) {
 }
 
 void Engine::drain_outboxes_() {
-  // Lane order, then post order within a lane: the only order-sensitive step
-  // of the barrier (it assigns target sequence numbers), and it depends only
-  // on per-lane execution — never on which worker ran which lane.
+  // Source lanes in lane order, targets in first-touch order, posts in queue
+  // order: per target this delivers posts in (source lane, post) order —
+  // exactly the sequence the per-event drain assigned — so target sequence
+  // numbers stay worker-count-independent. The only order-sensitive input is
+  // per-lane execution, never which worker ran which lane.
   for (auto& lp : lanes_) {
-    for (Lane::Post& p : lp->outbox) {
-      Lane& target = lane_(p.to);
-      if (p.t < target.now)
-        throw std::logic_error(
-            "PDES: cross-lane event behind the target lane's clock "
-            "(lookahead contract violated)");
-      schedule_(target, p.t, std::move(p.cb));
+    for (const LaneId to : lp->touched) {
+      std::vector<Lane::Post>& q = lp->outq[to];
+      Lane& target = lane_(to);
+      for (const Lane::Post& p : q)
+        if (p.t < target.now)
+          throw std::logic_error(
+              "PDES: cross-lane event behind the target lane's clock "
+              "(lookahead contract violated)");
+      // Bulk merge: for a large batch, append every key unsifted and restore
+      // the heap once with Floyd's O(n) rebuild — cheaper than per-key
+      // sift-up when the batch rivals the heap. Pop order depends only on
+      // the (time, seq) keys, which are assigned identically either way.
+      const bool bulk = q.size() >= 32 && q.size() * 8 >= target.heap.size();
+      for (Lane::Post& p : q) {
+        if (bulk) {
+          const std::uint32_t slot = target.alloc_slot();
+          const std::uint32_t gen = target.gens[slot];
+          target.slots[slot].cb = std::move(p.cb);
+          target.heap.push_back(Lane::Key{p.t, target.next_seq++, slot, gen});
+          ++target.live;
+        } else {
+          schedule_(target, p.t, std::move(p.cb));
+        }
+      }
+      if (bulk) target.rebuild_heap();
+      q.clear();
     }
-    lp->outbox.clear();
+    lp->touched.clear();
   }
 }
 
@@ -545,7 +593,7 @@ std::uint64_t Engine::run_pdes_(std::uint64_t max_events, Time bound) {
         cur_lane_ = excl_;
         ++E.fired;
         ++fired_run;
-        cb();
+            cb();
         cur_lane_ = 0;
         continue;
       }
@@ -646,8 +694,13 @@ std::size_t Engine::queue_depth() const {
 void Engine::check_invariants() const {
   for (const auto& lp : lanes_) {
     lp->check_invariants();
-    DPAR_ASSERT(lp->outbox.empty() || in_window_,
+    DPAR_ASSERT(lp->outbox_empty() || in_window_,
                 "PDES: outbox posts outside a window");
+    for (std::size_t to = 0; to < lp->outq.size(); ++to)
+      if (!lp->outq[to].empty())
+        DPAR_ASSERT(std::find(lp->touched.begin(), lp->touched.end(),
+                              static_cast<LaneId>(to)) != lp->touched.end(),
+                    "PDES: non-empty outbox queue missing from touched list");
   }
   DPAR_ASSERT(excl_ == 0 || (excl_ < lanes_.size() && lanes_[excl_]->exclusive),
               "PDES: exclusive lane id out of sync");

@@ -14,9 +14,12 @@
 //    lanes are created with add_lane() before the run starts.
 //  * Cross-lane interactions go through at_in()/after_in(). Inside a
 //    parallel window a cross-lane call does not touch the target heap;
-//    it is appended to the calling lane's timestamped outbox channel and
-//    delivered at the next window barrier, in lane order, so the target's
-//    sequence numbers are assigned deterministically.
+//    it is appended to the calling lane's per-target outbox queue and
+//    delivered at the next window barrier — source lanes in lane order,
+//    each (source, target) queue as one batch — so the target's sequence
+//    numbers are assigned deterministically and the barrier does one
+//    bulk heap insert per touched (source, target) pair instead of one
+//    sift per event.
 //  * A window executes, in every lane concurrently, all events with
 //    t < horizon where horizon = min(next event time) + lookahead. The
 //    lookahead is the minimum cross-lane latency (the network model's
@@ -100,6 +103,11 @@ class Engine {
   /// cancellable via the returned id.
   EventId at_all(Time t, std::vector<Callback> cbs);
   EventId after_all(Time delay, std::vector<Callback> cbs);
+
+  /// at_all targeting a specific lane: ONE event in `lane` at `t` firing the
+  /// callbacks in order. Used by the split-lane job coordinator to release a
+  /// node's barrier waiters as a single cross-lane message.
+  EventId at_all_in(LaneId lane, Time t, std::vector<Callback> cbs);
 
   /// Cancel a pending event. Returns false if it already fired, was already
   /// cancelled, or `id` is empty. The event's slot and callback are reclaimed

@@ -128,6 +128,16 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
 
+  /// Fold `other` into this histogram. Because the buckets are fixed, a merge
+  /// of per-shard histograms in a canonical shard order reproduces the exact
+  /// counts and sum of single-shard accumulation in that order (the sum is
+  /// FP-addition-order-dependent, which is why the order must be canonical).
+  void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   /// Value at quantile q in [0,1] (upper bound of the containing bucket).
   double percentile(double q) const {
     if (count_ == 0) return 0.0;

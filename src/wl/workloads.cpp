@@ -326,6 +326,8 @@ class MasterWorkerProgram final : public Cloneable<MasterWorkerProgram> {
     return ctx.rank == 0 ? master_next() : worker_next(ctx);
   }
 
+  bool uses_p2p() const override { return true; }
+
  private:
   static constexpr int kDispatchTag = 1;
   static constexpr int kResultTag = 2;

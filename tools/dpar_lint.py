@@ -78,19 +78,36 @@ RULE_EXEMPT_FILES = {
     "raw-random": {"src/sim/rng.hpp"},
 }
 
-# Files where a rule applies at all (relative to the repo root). Rules not
-# listed here apply everywhere. pdes-lane-channel is scoped to the files that
-# schedule events across logical-process boundaries; the fixtures are listed
-# so the self-test corpus exercises the rule.
+# Files where a rule applies at all (relative to the repo root). Entries
+# ending in "/" are directory prefixes; the rest are exact paths. Rules not
+# listed here apply everywhere. pdes-lane-channel covers every tree that
+# schedules events across logical-process boundaries now that compute nodes
+# are per-node lanes: the MPI runtime (barriers, P2P), the MPI-IO client
+# stack, DualPar's scheduler/CRM, and the fault injector's timeout/retry
+# protocol. The fixtures are listed so the self-test corpus exercises the
+# rule.
 RULE_ONLY_FILES = {
     "pdes-lane-channel": {
         "src/net/network.cpp",
-        "src/dualpar/emc.cpp",
         "src/metrics/monitor.cpp",
+        "src/mpi/",
+        "src/mpiio/",
+        "src/dualpar/",
+        "src/fault/",
         "tools/lint_fixtures/bad.cpp",
         "tools/lint_fixtures/good.cpp",
     },
 }
+
+
+def rule_in_scope(rule, rel):
+    """True when `rule` applies to file `rel`: not scoped at all, listed
+    exactly, or under a listed directory prefix (entries ending in '/')."""
+    if rule not in RULE_ONLY_FILES:
+        return True
+    scope = RULE_ONLY_FILES[rule]
+    return rel in scope or any(
+        rel.startswith(p) for p in scope if p.endswith("/"))
 
 SOURCE_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
 DEFAULT_SCAN_DIRS = ("src", "bench", "tests", "examples")
@@ -241,7 +258,7 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
     def emit(idx, rule, detail):
         if rel in RULE_EXEMPT_FILES.get(rule, ()):
             return
-        if rule in RULE_ONLY_FILES and rel not in RULE_ONLY_FILES[rule]:
+        if not rule_in_scope(rule, rel):
             return
         if not allowed(lines, idx, rule):
             findings.append(Finding(rel, idx + 1, rule, detail))

@@ -92,4 +92,19 @@ struct CrossLaneSite {
   }
 };
 
+// Timeout arm/cancel idiom gone wrong: the retry timeout for a robust I/O
+// attempt is armed with a plain after(), so on a partitioned engine it lands
+// in whatever lane happens to be running — the server's reply (delivered to
+// the client's lane) then races the timeout instead of deterministically
+// cancelling it.
+struct BadRetryClient {
+  FakeEngine eng_;
+  long timeout_ev_ = 0;
+  void start_attempt() {
+    eng_.after(1000, [this] { on_timeout(); });  // expect(pdes-lane-channel)
+  }
+  void on_reply() { timeout_ev_ = 0; }
+  void on_timeout() { start_attempt(); }
+};
+
 }  // namespace fixture

@@ -91,4 +91,29 @@ struct CrossLaneSite {
   }
 };
 
+// The sanctioned timeout arm/cancel idiom for the robust I/O retry protocol:
+// the timeout is armed in the *client node's own lane* via after_in, tagged
+// with an attempt generation, and the server's reply — itself delivered to
+// the client's lane through the network channel — cancels it from that same
+// lane. Both event and cancel live in one lane, so the race is resolved by
+// simulated time alone at every worker count.
+struct RetryClient {
+  FakeEngine eng_;
+  int lane_ = 3;
+  long timeout_ev_ = 0;
+  unsigned attempt_ = 0;
+  void start_attempt() {
+    const unsigned gen = ++attempt_;
+    eng_.after_in(lane_, 1000, [this, gen] { on_timeout(gen); });
+  }
+  void on_reply() {
+    // In-lane cancel: Engine::cancel asserts the event belongs to the
+    // calling lane, which this idiom guarantees by construction.
+    timeout_ev_ = 0;
+  }
+  void on_timeout(unsigned gen) {
+    if (gen == attempt_) start_attempt();  // stale generations are no-ops
+  }
+};
+
 }  // namespace fixture

@@ -42,6 +42,23 @@ GATED_POLICIES = ("deadline", "cscan", "cfq", "anticipatory")
 UNGATED_POLICIES = ("noop",)
 
 
+def label_config(label):
+    """Human description of the engine configuration behind a benchmark
+    label, so a gated regression names the lane/worker setup that produced
+    it instead of just an aggregate events/sec number."""
+    if label.startswith("BM_PdesSweep/"):
+        try:
+            workers = int(label.split("/")[1])
+        except (ValueError, IndexError):
+            return None
+        return f"PDES workers={workers}, 3x BTIO @ 256 procs"
+    if label.startswith("BM_LaneOutboxDrain"):
+        return "256 lanes, fan-8 cross-lane posts per window, workers=1"
+    if label.startswith("BM_LpChannelHandoff"):
+        return "2 lanes ping-pong at lookahead, workers=1"
+    return None
+
+
 def load_micro(path):
     with open(path) as f:
         doc = json.load(f)
@@ -150,9 +167,16 @@ def gate_pdes(current, failures):
         print(f"  workers={workers:<3} {rate:12.3g} ev/s "
               f"({rate / workers:10.3g} ev/s per worker)")
     if 1 not in sweep or 4 not in sweep or sweep[1] <= 0:
-        failures.append("BM_PdesSweep: workers=1/4 pair missing from sweep")
+        failures.append(
+            "BM_PdesSweep: workers=1/4 pair missing from sweep "
+            f"(have workers={sorted(sweep)}, hw_threads={hw})")
         return
     speedup = sweep[4] / sweep[1]
+    # Failure messages carry the full per-worker rate table: a CI log that
+    # says only "speedup too low" forces a rerun to learn whether workers=4
+    # collapsed or workers=1 inflated.
+    per_worker = ", ".join(
+        f"workers={w}: {sweep[w]:.3g} ev/s" for w in sorted(sweep))
     if hw >= MIN_HW_THREADS_FOR_PDES_GATE:
         ok = speedup >= MIN_PDES_SPEEDUP
         print(f"  workers 4 vs 1 speedup {speedup:6.2f}x  "
@@ -160,7 +184,8 @@ def gate_pdes(current, failures):
         if not ok:
             failures.append(
                 f"BM_PdesSweep: workers=4 only {speedup:.2f}x faster than "
-                f"workers=1 (limit {MIN_PDES_SPEEDUP}x)")
+                f"workers=1 (limit {MIN_PDES_SPEEDUP}x; hw_threads={hw}; "
+                f"{per_worker})")
     else:
         print(f"  workers 4 vs 1 speedup {speedup:6.2f}x  "
               f"(tracked only: machine has {hw} hw threads, "
@@ -177,6 +202,24 @@ def seed_baseline(path, current):
         f.write("\n")
     print(f"perf-smoke: baseline {path!r} was missing; seeded it with "
           f"{len(rates)} rates from this run (no gate applied)")
+
+
+def extend_baseline(path, baseline, current):
+    """A new benchmark (e.g. BM_LaneOutboxDrain on its first run after
+    landing) has no checked-in floor yet: append its current rate to the
+    baseline file so the *next* run gates it. The current run is not gated
+    against the rate it just produced."""
+    fresh = {label: value for label, value in sorted(current.items())
+             if label not in baseline and not label.startswith("PdesSweep/")}
+    if not fresh:
+        return
+    merged = dict(baseline)
+    merged.update(fresh)
+    with open(path, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perf-smoke: added {len(fresh)} new benchmark(s) to {path!r}: "
+          + ", ".join(sorted(fresh)))
 
 
 def main():
@@ -212,6 +255,7 @@ def main():
     else:
         seed_baseline(args.baseline, current)
         baseline = {}
+    extend_baseline(args.baseline, baseline, current)
 
     failures = []
 
@@ -274,9 +318,11 @@ def main():
         delta = cur / base - 1.0
         bad = cur < base * (1.0 - MAX_REGRESSION)
         if bad:
+            cfg = label_config(label)
             failures.append(
                 f"{label}: {cur:.3g} ev/s is {-delta:.0%} below baseline "
-                f"{base:.3g} (limit {MAX_REGRESSION:.0%})")
+                f"{base:.3g} (limit {MAX_REGRESSION:.0%})"
+                + (f" [{cfg}]" if cfg else ""))
         print(f"  {label:<45} {delta:+7.1%}{'  FAIL' if bad else ''}")
 
     if failures:
