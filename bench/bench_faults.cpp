@@ -89,6 +89,12 @@ int main(int argc, char** argv) {
   const unsigned pdes_workers = harness::pdes_workers_from_env();
   std::printf("# engine: %s (DPAR_PDES_WORKERS=%u)\n",
               pdes_workers >= 1 ? "pdes" : "serial", pdes_workers);
+  // Plan banner: seed and replication factor are pure config — identical at
+  // every worker count — so the CI byte-diff (which strips only the engine
+  // line) keeps this one in the comparison on purpose.
+  std::printf("# plan: seed=0x%llx rf=%u\n",
+              static_cast<unsigned long long>(fault::FaultPlan{}.seed),
+              bench::paper_config().replica.replication_factor);
 
   bench::ExperimentPool pool;
 

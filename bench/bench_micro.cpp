@@ -541,6 +541,37 @@ BENCHMARK(BM_PdesSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Repair-pipeline micro: a server crash invalidates every copy it hosts, and
+// after the restart the repair manager re-copies them from surviving replicas
+// through the foreground disk schedulers and NIC paths. The repair byte count
+// is deterministic across iterations, so items/sec = repair bytes per wall
+// second — the recovery-path rate perf_smoke gates.
+void BM_RepairThroughput(benchmark::State& state) {
+  std::uint64_t last_bytes = 0;
+  for (auto _ : state) {
+    harness::TestbedConfig cfg = bench::paper_config();
+    cfg.keep_traces = false;
+    cfg.replica.replication_factor = 3;
+    cfg.replica.repair_bandwidth = 400e6;  // let repair, not the cap, dominate
+    cfg.fault.server.crashes.push_back(
+        {/*server=*/4, sim::msec(5), sim::msec(40)});
+    harness::Testbed tb(cfg);
+    wl::DemoConfig dc;
+    dc.file_size = 32 << 20;
+    dc.file = tb.create_file("repair", dc.file_size);
+    dc.segment_size = 64 * 1024;
+    tb.add_job("repair", 16, tb.vanilla(),
+               [dc](std::uint32_t) { return wl::make_demo(dc); },
+               dualpar::Policy::kForcedNormal);
+    tb.run();
+    last_bytes = tb.replica_manager()->total().repair_bytes_copied;
+    state.counters["repair_bytes"] = static_cast<double>(last_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(last_bytes));
+}
+BENCHMARK(BM_RepairThroughput)->Unit(benchmark::kMillisecond);
+
 // Forward every run to the normal console output while collecting one
 // PerfEntry per benchmark, so bench_micro lands in BENCH_sim_core.json like
 // the figure/table benches. value = items/sec (the duty-cycle rate the CI

@@ -74,6 +74,7 @@ Counters FaultInjector::total() const {
     t.client_retries += c.client_retries;
     t.client_recoveries += c.client_recoveries;
     t.client_failures += c.client_failures;
+    t.client_permanent_failures += c.client_permanent_failures;
     t.client_stale_replies += c.client_stale_replies;
     t.driver_io_errors += c.driver_io_errors;
     t.dualpar_aborted_batches += c.dualpar_aborted_batches;
@@ -141,6 +142,18 @@ sim::Time FaultInjector::server_stall(std::uint32_t server) {
     return plan_.server.stall_time;
   }
   return 0;
+}
+
+bool FaultInjector::permanently_down(std::uint32_t server, sim::Time now) const {
+  if (!server_down(server)) return false;
+  // Down right now; still recoverable only if some plan entry restarts this
+  // server strictly after `now`. The crash list is tiny (hand-written plans),
+  // so a linear scan beats carrying extra state.
+  for (const auto& c : plan_.server.crashes)
+    if (c.server == server && c.restart_at != kNeverRestarts &&
+        c.restart_at > now)
+      return false;
+  return true;
 }
 
 void FaultInjector::note_server_state(std::uint32_t server, bool down) {

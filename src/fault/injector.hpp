@@ -56,6 +56,7 @@ struct Counters {
   std::uint64_t client_retries = 0;
   std::uint64_t client_recoveries = 0;  ///< server requests that succeeded after a retry
   std::uint64_t client_failures = 0;    ///< server requests that exhausted retries
+  std::uint64_t client_permanent_failures = 0;  ///< ... against a fail-stop server
   std::uint64_t client_stale_replies = 0;
   // MPI-IO drivers / DualPar degraded mode
   std::uint64_t driver_io_errors = 0;
@@ -109,6 +110,11 @@ class FaultInjector {
   bool server_down(std::uint32_t server) const {
     return server < down_.size() && down_[server];
   }
+  /// Down with no restart still ahead of `now` in the plan: the server is
+  /// gone for good (fail-stop crash, restart_at == kNeverRestarts) rather
+  /// than mid-window. Clients report kPermanentFailure instead of kTimeout
+  /// once retries exhaust, and the repair manager skips it as a copy source.
+  bool permanently_down(std::uint32_t server, sim::Time now) const;
   std::uint32_t servers_down() const { return servers_down_; }
 
   /// Listener for server up/down transitions (EMC degradation, cache

@@ -54,7 +54,8 @@ void FaultPlan::validate() const {
       throw std::invalid_argument("FaultPlan: crash time must be >= 0");
     if (c.restart_at <= c.at)
       throw std::invalid_argument(
-          "FaultPlan: crash must restart after it happens (restart_at > at)");
+          "FaultPlan: crash must restart after it happens (restart_at > at; "
+          "use kNeverRestarts for a fail-stop crash)");
     if (c.server == kAllServers)
       throw std::invalid_argument("FaultPlan: crash needs a concrete server index");
   }

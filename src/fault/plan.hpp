@@ -21,6 +21,12 @@ namespace dpar::fault {
 /// Index value meaning "every data server" in per-server fault entries.
 inline constexpr std::uint32_t kAllServers = UINT32_MAX;
 
+/// Sentinel restart time for a crash the server never comes back from (a
+/// fail-stop failure). Clients surface Status::kPermanentFailure once their
+/// retry budget is exhausted against such a server, and the re-replication
+/// manager treats its copies as unrecoverable instead of waiting.
+inline constexpr sim::Time kNeverRestarts = INT64_MAX;
+
 struct DiskFaults {
   /// Probability that a dispatched request fails with a media error.
   double media_error_rate = 0.0;
@@ -61,7 +67,8 @@ struct NetFaults {
 struct ServerFaults {
   /// Crash/restart event: the server refuses new requests and loses its
   /// queued work (accepted-but-unreplied requests never answer) during
-  /// [at, restart_at).
+  /// [at, restart_at). restart_at == kNeverRestarts marks a fail-stop crash:
+  /// no restart event is ever scheduled and the server stays down forever.
   struct Crash {
     std::uint32_t server = 0;
     sim::Time at = 0;
@@ -105,8 +112,9 @@ struct FaultPlan {
   bool enabled() const;
 
   /// Reject malformed plans loudly (negative rates, probabilities > 1, zero
-  /// timeouts, crash windows that never restart, ...).
-  /// Throws std::invalid_argument.
+  /// timeouts, crash windows ending before they start, ...). Permanent
+  /// crashes are expressed with restart_at == kNeverRestarts, not with an
+  /// inverted window. Throws std::invalid_argument.
   void validate() const;
 };
 

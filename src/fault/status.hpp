@@ -19,6 +19,11 @@ enum class Status : std::uint8_t {
   kMediaError = 1,  ///< disk-level unrecoverable sector error
   kTimeout = 2,     ///< no reply within the retry budget
   kServerDown = 3,  ///< request refused or lost by a crashed data server
+  /// Retries exhausted against a server whose crash never restarts (a plan
+  /// entry with restart_at == kNeverRestarts): the target is gone, not slow.
+  /// Callers — and the re-replication manager — treat this as terminal and
+  /// stop waiting for a recovery that cannot come.
+  kPermanentFailure = 4,
 };
 
 constexpr const char* to_string(Status s) {
@@ -27,6 +32,7 @@ constexpr const char* to_string(Status s) {
     case Status::kMediaError: return "media-error";
     case Status::kTimeout: return "timeout";
     case Status::kServerDown: return "server-down";
+    case Status::kPermanentFailure: return "permanent-failure";
   }
   return "?";
 }

@@ -111,6 +111,26 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
       }
     });
   }
+
+  if (cfg_.replica.enabled()) {
+    cfg_.replica.validate(cfg_.data_servers);
+    // Failure domains: server s (and compute node n) lives in rack id mod
+    // num_racks — the deterministic assignment the rack-aware policy expects.
+    std::vector<std::uint32_t> racks(cfg_.data_servers);
+    for (std::uint32_t s = 0; s < cfg_.data_servers; ++s)
+      racks[s] = s % cfg_.replica.num_racks;
+    for (std::uint32_t c = 0; c < cfg_.compute_nodes; ++c)
+      nodes_[c]->set_rack((cfg_.data_servers + 1 + c) % cfg_.replica.num_racks);
+    // Built after the injector: the manager's ctor hooks the server up/down
+    // listener, and listener order is part of the deterministic schedule.
+    replicas_ = std::make_unique<replica::RepairManager>(
+        eng_, *net_, *fs_,
+        replica::ReplicaMap(pfs::StripeLayout{cfg_.stripe_unit, cfg_.data_servers},
+                            cfg_.replica, std::move(racks)),
+        injector_.get(), /*mds_node=*/cfg_.data_servers,
+        [this] { return !all_jobs_finished(); });
+    fs_->set_replicas(replicas_.get());
+  }
 }
 
 void Testbed::finalize_partition_() {
@@ -148,6 +168,7 @@ void Testbed::finalize_partition_() {
     net_->set_node_lanes(std::move(node_lane));
   }
   if (injector_) injector_->set_lane_count(eng_.num_lanes());
+  if (replicas_) replicas_->set_lane_count(eng_.num_lanes());
   emc_->set_lane_count(eng_.num_lanes());
 
   // The crash/restart schedule is part of the plan: pin the events on the
@@ -156,7 +177,10 @@ void Testbed::finalize_partition_() {
   for (const auto& c : cfg_.fault.server.crashes) {
     pfs::DataServer* srv = servers_[c.server].get();
     eng_.at_in(eng_.exclusive_lane(), c.at, [srv] { srv->crash(); });
-    eng_.at_in(eng_.exclusive_lane(), c.restart_at, [srv] { srv->restart(); });
+    // Fail-stop crashes never restart: scheduling an event at kNeverRestarts
+    // would keep the queue alive forever.
+    if (c.restart_at != fault::kNeverRestarts)
+      eng_.at_in(eng_.exclusive_lane(), c.restart_at, [srv] { srv->restart(); });
   }
 
   coordinated_ = splittable;
@@ -219,6 +243,7 @@ mpi::Job& Testbed::add_job(const std::string& name, std::uint32_t nprocs,
 std::uint64_t Testbed::run(std::uint64_t max_events) {
   finalize_partition_();
   emc_->start();
+  if (replicas_) replicas_->start();
   monitor_->start();
   // Periodic idle eviction ("a chunk will be evicted if it is not used for a
   // certain period of time", §IV-D); re-arms only while jobs live so the

@@ -26,6 +26,7 @@
 #include "mpiio/vanilla.hpp"
 #include "net/network.hpp"
 #include "pfs/file_system.hpp"
+#include "replica/manager.hpp"
 #include "sim/engine.hpp"
 
 namespace dpar::harness {
@@ -53,6 +54,10 @@ struct TestbedConfig {
   /// created, every layer keeps its fault-free fast path and the simulation
   /// output is byte-identical to a build without the fault subsystem.
   fault::FaultPlan fault;
+  /// N-way chunk replication. Default (replication_factor == 1) = disabled:
+  /// no repair manager is created and the PFS keeps its pre-replication
+  /// allocation and request paths byte-for-byte.
+  replica::ReplicaConfig replica;
   /// Conservative-PDES worker count. -1 (default) reads DPAR_PDES_WORKERS;
   /// 0 keeps the serial single-heap engine; N >= 1 partitions the engine
   /// into one lane per data server — plus, when every job's driver is
@@ -89,6 +94,8 @@ class Testbed {
   const TestbedConfig& config() const { return cfg_; }
   /// The run's fault injector, or null when the plan is disabled.
   fault::FaultInjector* fault_injector() { return injector_.get(); }
+  /// The run's re-replication manager, or null when replication_factor == 1.
+  replica::RepairManager* replica_manager() { return replicas_.get(); }
 
   mpiio::VanillaDriver& vanilla() { return *vanilla_; }
   mpiio::CollectiveDriver& collective() { return *collective_; }
@@ -138,6 +145,7 @@ class Testbed {
   std::vector<std::unique_ptr<cluster::ComputeNode>> nodes_;
   std::unique_ptr<pfs::FileSystem> fs_;
   std::unique_ptr<mpiio::ClientPool> clients_;
+  std::unique_ptr<replica::RepairManager> replicas_;
   std::unique_ptr<cache::GlobalCache> cache_;
   std::unique_ptr<dualpar::Emc> emc_;
   std::unique_ptr<metrics::SystemMonitor> monitor_;

@@ -24,6 +24,7 @@ std::vector<std::pair<std::string, std::uint64_t>> fault_counter_rows(
       {"client_retries", c.client_retries},
       {"client_recoveries", c.client_recoveries},
       {"client_failures", c.client_failures},
+      {"client_permanent_failures", c.client_permanent_failures},
       {"client_stale_replies", c.client_stale_replies},
       {"driver_io_errors", c.driver_io_errors},
       {"dualpar_aborted_batches", c.dualpar_aborted_batches},

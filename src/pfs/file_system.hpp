@@ -14,6 +14,10 @@
 #include "sim/engine.hpp"
 #include "sim/func.hpp"
 
+namespace dpar::replica {
+class RepairManager;
+}
+
 namespace dpar::pfs {
 
 struct FileInfo {
@@ -44,6 +48,14 @@ class FileSystem {
   void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
   fault::FaultInjector* fault_injector() { return injector_; }
 
+  /// Arm n-way replication: create() allocates per-role replica regions and
+  /// clients switch to the replicated request path (write fan-out to every
+  /// copy, degraded reads with transparent failover). Null, or a manager
+  /// whose config has replication_factor == 1, keeps every pre-replication
+  /// path byte-for-byte.
+  void set_replicas(replica::RepairManager* r) { replicas_ = r; }
+  replica::RepairManager* replicas() { return replicas_; }
+
  private:
   sim::Engine& eng_;
   net::Network& net_;
@@ -53,6 +65,7 @@ class FileSystem {
   std::unordered_map<FileId, FileInfo> files_;
   FileId next_file_id_ = 1;
   fault::FaultInjector* injector_ = nullptr;
+  replica::RepairManager* replicas_ = nullptr;
 };
 
 /// Completion of one client I/O call: the bytes the call covered plus the

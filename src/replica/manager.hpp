@@ -1,0 +1,165 @@
+// Background re-replication manager.
+//
+// Conceptually a daemon on the metadata server: it tracks the validity of
+// every (chunk, role) copy of every file, detects under-replication after a
+// crash, and issues repair copies — real request traffic that competes with
+// foreground I/O through the same server service threads, disk schedulers
+// and NIC TX paths — until full redundancy is restored, throttled by a
+// token-bucket bandwidth cap.
+//
+// Concurrency contract (the usual exclusive-lane pattern, cf. dualpar::Emc):
+// all tracker state is mutated only on the engine's exclusive lane — by the
+// periodic tick, by the fault injector's server up/down listener (crash and
+// restart events are pinned there), and by notes that client lanes post via
+// `post_invalid_copies`, which travel `note_delay` (the fabric's switch
+// latency, i.e. at least the PDES lookahead) into the exclusive lane. Note
+// effects are commutative (set-a-bit, bump-a-counter), so any same-timestamp
+// arrival order produces the same tracker state and runs stay byte-identical
+// at every DPAR_PDES_WORKERS value. The durability ledger (Counters) is
+// sharded per lane exactly like fault::Counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "pfs/file_system.hpp"
+#include "replica/placement.hpp"
+#include "sim/engine.hpp"
+
+namespace dpar::replica {
+
+/// Durability/recovery ledger of one run, sharded per lane.
+struct Counters {
+  // client write fan-out
+  std::uint64_t writes_replicated = 0;   ///< write ops that fanned out copies
+  std::uint64_t write_copy_shards = 0;   ///< replica shards sent (roles >= 1)
+  std::uint64_t chain_forwards = 0;      ///< chain-fanout relay hops
+  std::uint64_t copy_write_failures = 0; ///< replica shards that failed for good
+  // client degraded reads
+  std::uint64_t degraded_reads = 0;      ///< read ops that used any replica
+  std::uint64_t failover_shards = 0;     ///< shards re-aimed at a replica
+  std::uint64_t failover_latency_ns = 0; ///< sum over failover_shards
+  std::uint64_t out_of_replica_reads = 0;///< shards that ran out of replicas
+  // tracker / repair
+  std::uint64_t chunks_invalidated = 0;  ///< copies marked stale (crash/write loss)
+  std::uint64_t repair_ops_issued = 0;
+  std::uint64_t repair_ops_completed = 0;
+  std::uint64_t repair_ops_failed = 0;   ///< timed out or copy-read/write error
+  std::uint64_t repair_bytes_copied = 0;
+  std::uint64_t repair_blocked_permanent = 0;  ///< deficit on a fail-stop server
+  std::uint64_t chunks_unrepairable = 0; ///< attempt cap hit (e.g. bad sectors)
+};
+
+/// End-of-run durability summary (tracker-derived, on top of the ledger).
+struct DurabilityReport {
+  Counters counters;
+  std::uint64_t total_chunks = 0;       ///< across all registered files
+  std::uint64_t total_copies = 0;       ///< total_chunks * rf
+  std::uint64_t under_replicated_now = 0;  ///< chunks short of rf live copies
+  std::uint64_t invalid_copies_now = 0;
+  std::uint64_t lost_chunks = 0;        ///< no valid recoverable copy left
+  double under_replicated_chunk_seconds = 0.0;
+};
+
+class RepairManager {
+ public:
+  /// `jobs_live` gates tick re-arming (same idiom as the EMC/monitor
+  /// daemons); `mds_node` is the metadata server the repair control messages
+  /// originate from. A null injector disables the daemon entirely — no
+  /// faults means no deficits — while the placement map stays available to
+  /// the client write/read paths.
+  RepairManager(sim::Engine& eng, net::Network& net, pfs::FileSystem& fs,
+                ReplicaMap map, fault::FaultInjector* injector,
+                net::NodeId mds_node, std::function<bool()> jobs_live);
+
+  const ReplicaMap& map() const { return map_; }
+  const ReplicaConfig& config() const { return map_.config(); }
+
+  /// Track a freshly created file (all copies start valid). Called by
+  /// FileSystem::create.
+  void register_file(pfs::FileId id, std::uint64_t size);
+
+  /// The calling lane's ledger shard (hot client paths); aggregate readers
+  /// use total().
+  Counters& counters();
+  Counters total() const;
+  void set_lane_count(std::uint32_t lanes);
+
+  /// Arm the periodic scan/dispatch tick (exclusive lane) and hook the
+  /// injector's server up/down listener. Called from Testbed::run.
+  void start();
+  /// One scan/dispatch step (also callable directly from tests).
+  void tick();
+
+  /// Client-lane entry point: copies of `chunks` under `role` failed a write
+  /// for good and are now stale. The note is posted into the exclusive lane
+  /// `note_delay` ahead (at least the PDES lookahead); effects commute.
+  void post_invalid_copies(pfs::FileId file, std::uint32_t role,
+                           std::vector<std::uint64_t> chunks);
+
+  /// Tracker snapshot; call after the run (or from the exclusive lane).
+  DurabilityReport report() const;
+  std::uint64_t under_replicated_now() const;
+  std::uint64_t repairs_in_flight() const { return in_flight_; }
+
+ private:
+  struct FileState {
+    pfs::FileId id = 0;
+    std::uint64_t size = 0;
+    std::uint64_t chunks = 0;
+    /// chunk-major [chunk * rf + role] copy state.
+    std::vector<std::uint8_t> invalid;
+    std::vector<std::uint32_t> attempts;
+    std::vector<std::uint8_t> repairing;
+    /// Invalidation sequence per copy: a repair completion only validates
+    /// the copy if no invalidation landed after the repair was issued.
+    std::vector<std::uint32_t> seq;
+    /// Id of the currently in-flight repair per copy: a completion (or its
+    /// watchdog timeout) acts only if it carries the current id, so a stale
+    /// timeout can never kill a later reissue.
+    std::vector<std::uint64_t> issue;
+  };
+
+  void on_server_state_(std::uint32_t server, bool down);
+  void note_invalid_(FileState& f, std::uint64_t chunk, std::uint32_t role);
+  void repair_done_(std::size_t file_idx, std::uint64_t chunk,
+                    std::uint32_t role, std::uint64_t issue_id,
+                    std::uint32_t issued_seq, fault::Status st);
+  /// Fold elapsed time into the under-replicated chunk-seconds accumulator,
+  /// then recount. Call on the exclusive lane around every state change.
+  void touch_();
+  std::uint64_t count_under_() const;
+  bool copy_live_(const FileState& f, std::uint64_t chunk,
+                  std::uint32_t role) const;
+  /// Issue one repair copy source -> target for (file, chunk, role).
+  void issue_repair_(std::size_t file_idx, std::uint64_t chunk,
+                     std::uint32_t role, std::uint32_t source_role);
+  bool deficit_actionable_() const;
+  void arm_tick_();
+
+  sim::Engine& eng_;
+  net::Network& net_;
+  pfs::FileSystem& fs_;
+  ReplicaMap map_;
+  fault::FaultInjector* injector_;
+  net::NodeId mds_node_;
+  std::function<bool()> jobs_live_;
+  sim::Time note_delay_;
+  std::vector<Counters> shards_;
+  std::vector<FileState> tracked_;
+  // Token bucket for repair bandwidth.
+  double repair_tokens_ = 0.0;
+  sim::Time last_tick_ = 0;
+  // Under-replicated chunk-seconds accumulator.
+  std::uint64_t under_now_ = 0;
+  sim::Time under_since_ = 0;
+  double under_chunk_ns_ = 0.0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t next_issue_ = 1;
+  bool ticking_ = false;
+  bool started_ = false;
+};
+
+}  // namespace dpar::replica

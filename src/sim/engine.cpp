@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <condition_variable>

@@ -272,7 +272,7 @@ TEST(FaultInjection, FaultLedgerFormatsEveryCounter) {
   c.disk_media_errors = 3;
   c.client_retries = 7;
   const auto rows = metrics::fault_counter_rows(c);
-  EXPECT_EQ(rows.size(), 23u);
+  EXPECT_EQ(rows.size(), 24u);
   const std::string report = metrics::format_fault_report(c);
   EXPECT_NE(report.find("disk_media_errors: 3"), std::string::npos);
   EXPECT_NE(report.find("client_retries: 7"), std::string::npos);

@@ -94,6 +94,7 @@ RULE_ONLY_FILES = {
         "src/mpiio/",
         "src/dualpar/",
         "src/fault/",
+        "src/replica/",
         "tools/lint_fixtures/bad.cpp",
         "tools/lint_fixtures/good.cpp",
     },

@@ -40,6 +40,11 @@ MIN_PDES_SPEEDUP = 2.0
 MIN_HW_THREADS_FOR_PDES_GATE = 4
 GATED_POLICIES = ("deadline", "cscan", "cfq", "anticipatory")
 UNGATED_POLICIES = ("noop",)
+# Benchmarks that must be present in every bench_micro run: a silently
+# dropped benchmark would otherwise keep passing on its stale baseline row.
+# Each entry is gated by the absolute floor below once the auto-seeded
+# baseline picks it up (extend_baseline on the first run after landing).
+REQUIRED_LABELS = ("BM_RepairThroughput",)
 
 
 def label_config(label):
@@ -56,6 +61,9 @@ def label_config(label):
         return "256 lanes, fan-8 cross-lane posts per window, workers=1"
     if label.startswith("BM_LpChannelHandoff"):
         return "2 lanes ping-pong at lookahead, workers=1"
+    if label.startswith("BM_RepairThroughput"):
+        return ("rf=3 repair after a 5-40 ms server crash, 400 MB/s repair "
+                "cap, 32 MB foreground demo job")
     return None
 
 
@@ -258,6 +266,15 @@ def main():
     extend_baseline(args.baseline, baseline, current)
 
     failures = []
+
+    print("== required benchmarks present ==")
+    for label in REQUIRED_LABELS:
+        present = label in current
+        print(f"  {label:<45} {'ok' if present else 'MISSING'}")
+        if not present:
+            failures.append(
+                f"{label}: required benchmark absent from this run "
+                "(was it filtered out or did registration break?)")
 
     def ratio(policy):
         flat = current.get(f"BM_SchedDutyCycle/{policy}_flat")
