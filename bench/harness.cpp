@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace dpar::bench {
 
@@ -58,6 +59,16 @@ bool label_selected(const std::string& label) {
   const char* f = std::getenv("DPAR_BENCH_FILTER");
   if (f == nullptr || *f == '\0') return true;
   return label.find(f) != std::string::npos;
+}
+
+unsigned bench_repeat() {
+  const char* s = std::getenv("DPAR_BENCH_REPEAT");
+  if (s == nullptr || *s == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 64)
+    throw std::invalid_argument("DPAR_BENCH_REPEAT must be an integer in [1, 64]");
+  return static_cast<unsigned>(v);
 }
 
 std::uint64_t peak_rss_bytes() {

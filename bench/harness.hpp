@@ -7,6 +7,7 @@
 // thresholds are never scaled — only total data volume).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -36,6 +37,15 @@ std::uint64_t scale_divisor(int argc, char** argv);
 /// this to run a subset of their experiments; filtering changes stdout, so
 /// runs meant for byte-comparison leave the variable unset.
 bool label_selected(const std::string& label);
+
+/// Repetitions for wall-clock timings from the DPAR_BENCH_REPEAT env var
+/// (default 1, max 64). Benches that honour it run each timed section N
+/// times and report the median wall time, so one noisy neighbour on a busy
+/// CI host cannot fail a perf gate; simulated outputs are deterministic
+/// across repeats, so stdout is unaffected. bench_micro maps it onto
+/// google-benchmark repetitions (median aggregate); inline timings use
+/// timed_median(). Throws std::invalid_argument on garbage.
+unsigned bench_repeat();
 
 /// Peak resident set size of this process (VmHWM from /proc/self/status),
 /// in bytes; 0 when unavailable (non-Linux).
@@ -82,6 +92,13 @@ class PerfLog {
     entries_.push_back(metrics::PerfEntry{t.label_, value, events, wall_s});
   }
 
+  /// File an entry with an externally measured wall time (e.g. the median
+  /// of DPAR_BENCH_REPEAT runs from timed_median()).
+  void add(std::string label, double value, std::uint64_t events, double wall_s) {
+    entries_.push_back(
+        metrics::PerfEntry{std::move(label), value, events, wall_s});
+  }
+
   /// Append this log's entries to `out` (benches that combine pool records
   /// with inline timings into one section).
   void append_to(std::vector<metrics::PerfEntry>& out) const {
@@ -99,6 +116,30 @@ class PerfLog {
   std::vector<metrics::PerfEntry> entries_;
   Clock::time_point suite_start_;
 };
+
+/// Run `fn` bench_repeat() times, writing the median wall seconds to
+/// `wall_s`, and return the last run's result. For deterministic timed
+/// sections (every repeat computes the identical result) whose wall time
+/// feeds a perf gate.
+template <class Fn>
+auto timed_median(double& wall_s, Fn&& fn) {
+  std::vector<double> walls;
+  const unsigned reps = bench_repeat();
+  walls.reserve(reps);
+  for (unsigned r = 0; r + 1 < reps; ++r) {
+    const auto t0 = PerfLog::Clock::now();
+    (void)fn();
+    walls.push_back(
+        std::chrono::duration<double>(PerfLog::Clock::now() - t0).count());
+  }
+  const auto t0 = PerfLog::Clock::now();
+  auto result = fn();
+  walls.push_back(
+      std::chrono::duration<double>(PerfLog::Clock::now() - t0).count());
+  std::sort(walls.begin(), walls.end());
+  wall_s = walls[walls.size() / 2];
+  return result;
+}
 
 /// Simple aligned table with a title, headers, numeric rows and footnotes.
 class Table {

@@ -8,6 +8,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define DPAR_PERF_HAVE_FLOCK 1
 #endif
@@ -94,15 +95,34 @@ std::map<std::string, std::string> read_sections(const std::string& path) {
 }
 
 /// Serializes concurrent writers of one report file via flock(2) on a
-/// sidecar `<path>.lock`. Best-effort: when the lock cannot be taken (or the
-/// platform has no flock) the atomic rename below still prevents torn files —
-/// concurrent merges may then lose a section, the pre-lock behaviour.
+/// sidecar `<path>.lock`, removed again by the last writer out so a clean
+/// run leaves no stray lock file next to the report. Removal makes
+/// acquisition racy (another writer can hold an fd to a lock file that just
+/// got unlinked), so acquisition re-checks identity after locking: the lock
+/// only counts when the locked inode is still what `<path>.lock` names.
+/// Best-effort: when the lock cannot be taken (or the platform has no flock)
+/// the atomic rename below still prevents torn files — concurrent merges may
+/// then lose a section, the pre-lock behaviour.
 class FileLock {
  public:
   explicit FileLock(const std::string& path) {
 #ifdef DPAR_PERF_HAVE_FLOCK
-    fd_ = ::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
-    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+    lock_path_ = path + ".lock";
+    // Bounded retry: each round loses only to a holder that unlinked the
+    // lock between our open and flock, so contention this deep is vanishing.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      fd_ = ::open(lock_path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+      if (fd_ < 0) return;
+      if (::flock(fd_, LOCK_EX) != 0) return;  // degrade to lock-free mode
+      struct stat held{}, named{};
+      if (::fstat(fd_, &held) == 0 && ::stat(lock_path_.c_str(), &named) == 0 &&
+          held.st_dev == named.st_dev && held.st_ino == named.st_ino)
+        return;  // we hold the lock file the path still names
+      // The holder unlinked it after we opened: retry on the fresh file.
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+      fd_ = -1;
+    }
 #else
     (void)path;
 #endif
@@ -110,6 +130,10 @@ class FileLock {
   ~FileLock() {
 #ifdef DPAR_PERF_HAVE_FLOCK
     if (fd_ >= 0) {
+      // Unlink while still holding the exclusive lock: a waiter blocked on
+      // this inode will acquire, notice the name is gone (identity check
+      // above), and retry on whatever file the next opener creates.
+      ::unlink(lock_path_.c_str());
       ::flock(fd_, LOCK_UN);
       ::close(fd_);
     }
@@ -120,6 +144,7 @@ class FileLock {
 
  private:
   int fd_ = -1;
+  std::string lock_path_;
 };
 
 std::string tmp_path_for(const std::string& path) {

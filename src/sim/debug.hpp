@@ -48,8 +48,12 @@ namespace dpar::sim::detail {
 
 #else
 
-#define DPAR_ASSERT(cond, msg) \
-  do {                         \
+// sizeof keeps the operands parsed (so variables used only in assertions
+// don't warn as unused) without evaluating or emitting anything.
+#define DPAR_ASSERT(cond, msg)  \
+  do {                          \
+    (void)sizeof((cond) ? 0 : 0); \
+    (void)sizeof(msg);          \
   } while (0)
 #define DPAR_IF_CHECKING(stmt) \
   do {                         \

@@ -16,10 +16,10 @@
 namespace dpar::sim {
 
 namespace {
-constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+constexpr Time kNoEvent = kNoEventTime;
 }  // namespace
 
-/// One logical process: a private event heap, slab, clock and sequence
+/// One logical process: a private event queue, slab, clock and sequence
 /// counter, plus the outbox channel that carries its cross-lane posts to the
 /// next window barrier. During a parallel window a lane is touched by exactly
 /// one worker thread; between windows only the coordinating thread touches
@@ -29,12 +29,6 @@ struct Engine::Lane {
     Callback cb;
     std::uint32_t next_free = 0;  ///< freelist link (index + 1; 0 = none).
   };
-  struct Key {
-    Time t;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    std::uint32_t gen;
-  };
   /// A timestamped cross-lane message awaiting delivery at the barrier. The
   /// target lane is implied by the queue the post sits in (one queue per
   /// (source, target) pair), so the record carries only time and callback.
@@ -43,16 +37,7 @@ struct Engine::Lane {
     Callback cb;
   };
 
-  // (t, seq) packed into one 128-bit value: a single branchless compare.
-  // Valid because t >= 0 always (scheduling rejects the past, clocks start
-  // at 0), so the int64 -> uint64 cast preserves order. __extension__ keeps
-  // -Wpedantic (and thus the -Werror CI builds) quiet about the GNU type.
-  __extension__ typedef unsigned __int128 Pri;
-  static Pri pri(const Key& k) {
-    return (static_cast<Pri>(static_cast<std::uint64_t>(k.t)) << 64) | k.seq;
-  }
-  static bool before(const Key& a, const Key& b) { return pri(a) < pri(b); }
-  bool stale_key(const Key& k) const { return gens[k.slot] != k.gen; }
+  explicit Lane(QueueKind kind) : queue(kind, &gens) {}
 
   std::uint32_t alloc_slot() {
     if (free_head != 0) {
@@ -67,7 +52,6 @@ struct Engine::Lane {
       const std::size_t cap = slots.capacity() < 256 ? 256 : slots.capacity() * 2;
       slots.reserve(cap);
       gens.reserve(cap);
-      heap.reserve(cap);
     }
     slots.emplace_back();
     gens.push_back(1);
@@ -82,94 +66,27 @@ struct Engine::Lane {
     free_head = slot + 1;
   }
 
-  void push_key(const Key& k) {
-    heap.push_back(k);
-    sift_up(heap.size() - 1);
-  }
-
-  void pop_min() {
-    heap.front() = heap.back();
-    heap.pop_back();
-    if (!heap.empty()) sift_down(0);
-  }
-
-  void sift_up(std::size_t i) {
-    const Key k = heap[i];
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 4;
-      if (!before(k, heap[parent])) break;
-      heap[i] = heap[parent];
-      i = parent;
-    }
-    heap[i] = k;
-  }
-
-  void sift_down(std::size_t i) {
-    const std::size_t n = heap.size();
-    const Key k = heap[i];
-    for (;;) {
-      const std::size_t first = 4 * i + 1;
-      if (first >= n) break;
-      const std::size_t last = first + 4 < n ? first + 4 : n;
-      std::size_t best = first;
-      for (std::size_t c = first + 1; c < last; ++c)
-        if (before(heap[c], heap[best])) best = c;
-      if (!before(heap[best], k)) break;
-      heap[i] = heap[best];
-      i = best;
-    }
-    heap[i] = k;
-  }
-
-  /// Restore the heap property bottom-up (Floyd): only internal nodes sift.
-  /// O(n) regardless of how disordered the tail is, which makes bulk key
-  /// appends (outbox batches) cheaper than per-key sift-up at scale.
-  void rebuild_heap() {
-    if (heap.size() > 1)
-      for (std::size_t i = (heap.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
-  }
-
-  void compact() {
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < heap.size(); ++i)
-      if (!stale_key(heap[i])) heap[out++] = heap[i];
-    heap.resize(out);
-    rebuild_heap();
-    stale = 0;
-    DPAR_IF_CHECKING(check_invariants());
-  }
-
-  /// Drop stale keys off the top; the earliest live event time, or kNoEvent.
-  Time next_time() {
-    while (!heap.empty() && stale_key(heap.front())) {
-      pop_min();
-      --stale;
-    }
-    return heap.empty() ? kNoEvent : heap.front().t;
-  }
+  Time next_time() { return queue.next_time(); }
 
   void check_invariants() const {
-    // Heap property: no child orders before its parent.
-    for (std::size_t i = 1; i < heap.size(); ++i)
-      DPAR_ASSERT(!before(heap[i], heap[(i - 1) / 4]),
-                  "event heap: child precedes its parent");
-    // Key validity and live/stale bookkeeping.
+    queue.check_invariants();
+    // Key validity and live/stale bookkeeping against the slab.
     std::size_t live_keys = 0;
     std::size_t stale_keys = 0;
-    for (const Key& k : heap) {
-      DPAR_ASSERT(k.slot < slots.size(), "event heap: key slot out of range");
-      DPAR_ASSERT(k.gen != 0, "event heap: key with reserved generation 0");
-      if (stale_key(k)) {
+    queue.for_each_key([&](const EventKey& k) {
+      DPAR_ASSERT(k.slot < slots.size(), "event queue: key slot out of range");
+      if (gens[k.slot] != k.gen) {
         ++stale_keys;
       } else {
         ++live_keys;
         DPAR_ASSERT(static_cast<bool>(slots[k.slot].cb),
-                    "event heap: live key whose slot has no callback");
-        DPAR_ASSERT(k.t >= now, "event heap: live key scheduled in the past");
+                    "event queue: live key whose slot has no callback");
+        DPAR_ASSERT(k.t >= now, "event queue: live key scheduled in the past");
       }
-    }
-    DPAR_ASSERT(live_keys == live, "event heap: live-event count out of sync");
-    DPAR_ASSERT(stale_keys == stale, "event heap: stale-key count out of sync");
+    });
+    DPAR_ASSERT(live_keys == live, "event queue: live-event count out of sync");
+    DPAR_ASSERT(stale_keys == queue.stale(),
+                "event queue: stale-key count out of sync");
     DPAR_ASSERT(gens.size() == slots.size(),
                 "event slab: generation array not parallel to slots");
     // Freelist: every link in range, no slot visited twice, no free slot
@@ -187,15 +104,15 @@ struct Engine::Lane {
 
   LaneId id = 0;
   bool exclusive = false;
-  std::vector<Key> heap;    ///< 4-ary min-heap of event keys.
   std::vector<Slot> slots;  ///< slab of callbacks, free-listed.
   /// Slot generations, parallel to slots (bumped on every free; tags
-  /// EventId/Key). Kept out of Slot so stale-key checks and compaction scan
-  /// a dense u32 array instead of striding over fat callback slots.
+  /// EventId/EventKey). Kept out of Slot so stale-key checks and purges scan
+  /// a dense u32 array instead of striding over fat callback slots. Declared
+  /// before `queue`, which captures its address at construction.
   std::vector<std::uint32_t> gens;
+  EventQueue queue;  ///< tiered (time, seq) key queue; see event_queue.hpp
   std::uint32_t free_head = 0;  ///< freelist head (index + 1; 0 = empty).
   std::size_t live = 0;
-  std::size_t stale = 0;  ///< cancelled keys still in heap.
   Time now = 0;
   std::uint64_t next_seq = 1;
   std::uint64_t fired = 0;
@@ -212,8 +129,8 @@ struct Engine::Lane {
 
 thread_local Engine::Lane* Engine::t_lane_ = nullptr;
 
-Engine::Engine() {
-  lanes_.push_back(std::make_unique<Lane>());
+Engine::Engine() : queue_kind_(queue_kind_from_env()) {
+  lanes_.push_back(std::make_unique<Lane>(queue_kind_));
   lane0_ = lanes_.front().get();
 }
 
@@ -229,7 +146,7 @@ LaneId Engine::current_lane() const {
 LaneId Engine::add_lane() {
   if (in_window_)
     throw std::logic_error("Engine::add_lane: cannot add lanes mid-run");
-  auto lane = std::make_unique<Lane>();
+  auto lane = std::make_unique<Lane>(queue_kind_);
   lane->id = static_cast<LaneId>(lanes_.size());
   lanes_.push_back(std::move(lane));
   lane0_ = lanes_.front().get();
@@ -253,11 +170,22 @@ void Engine::set_pdes_workers(unsigned w) {
   workers_ = w == 0 ? 1 : w;
 }
 
+void Engine::set_queue_kind(QueueKind kind) {
+  if (in_window_)
+    throw std::logic_error("Engine::set_queue_kind: cannot switch mid-run");
+  for (const auto& lp : lanes_)
+    if (lp->live != 0 || lp->queue.size() != 0 || lp->fired != 0)
+      throw std::logic_error(
+          "Engine::set_queue_kind: events already scheduled or fired");
+  queue_kind_ = kind;
+  for (auto& lp : lanes_) lp->queue = EventQueue(kind, &lp->gens);
+}
+
 EventId Engine::schedule_(Lane& L, Time t, Callback cb) {
   const std::uint32_t slot = L.alloc_slot();
   const std::uint32_t gen = L.gens[slot];
   L.slots[slot].cb = std::move(cb);
-  L.push_key(Lane::Key{t, L.next_seq++, slot, gen});
+  L.queue.push(EventKey{t, L.next_seq++, slot, gen});
   ++L.live;
   return EventId{slot, gen, L.id};
 }
@@ -281,7 +209,7 @@ EventId Engine::at_in(LaneId lane, Time t, Callback cb) {
     throw std::out_of_range("Engine::at_in: bad lane id");
   const LaneId cur = current_lane();
   if (in_window_ && lane != cur) {
-    // Cross-lane post during a window: the target heap may be executing on
+    // Cross-lane post during a window: the target queue may be executing on
     // another worker, so the event travels through the calling lane's outbox
     // channel and is delivered (with a deterministic target sequence number)
     // at the barrier. The conservative protocol is only sound if the post
@@ -344,9 +272,9 @@ bool Engine::cancel(EventId id) {
     return false;  // already fired or cancelled
   L.free_slot(id.slot);
   --L.live;
-  ++L.stale;
-  // Amortised cleanup: never let cancelled keys dominate the heap.
-  if (L.stale >= 64 && L.stale * 2 >= L.heap.size()) L.compact();
+  // The key goes stale in place — an O(1) generation kill. The queue's
+  // amortized purge keeps stale keys from ever dominating memory.
+  L.queue.note_cancel();
   return true;
 }
 
@@ -354,26 +282,19 @@ bool Engine::step() {
   if (partitioned())
     throw std::logic_error("Engine::step: unavailable on a partitioned engine");
   Lane& L = *lane0_;
-  while (!L.heap.empty()) {
-    const Lane::Key k = L.heap.front();
-    L.pop_min();
-    if (L.stale_key(k)) {
-      --L.stale;
-      continue;
-    }
-    // Move the callback out and free the slot *before* invoking, so the
-    // callback can freely schedule into the just-freed slot (reentrancy).
-    Callback cb = std::move(L.slots[k.slot].cb);
-    L.free_slot(k.slot);
-    --L.live;
-    assert(k.t >= L.now);
-    L.now = k.t;
-    now_ = k.t;
-    ++L.fired;
-    cb();
-    return true;
-  }
-  return false;
+  EventKey k;
+  if (!L.queue.pop_min_live(k)) return false;
+  // Move the callback out and free the slot *before* invoking, so the
+  // callback can freely schedule into the just-freed slot (reentrancy).
+  Callback cb = std::move(L.slots[k.slot].cb);
+  L.free_slot(k.slot);
+  --L.live;
+  assert(k.t >= L.now);
+  L.now = k.t;
+  now_ = k.t;
+  ++L.fired;
+  cb();
+  return true;
 }
 
 std::uint64_t Engine::run_serial_(std::uint64_t max_events) {
@@ -398,14 +319,9 @@ void Engine::run_until(Time t) {
     return;
   }
   Lane& L = *lane0_;
-  while (!L.heap.empty()) {
-    const Lane::Key& top = L.heap.front();
-    if (L.stale_key(top)) {
-      L.pop_min();
-      --L.stale;
-      continue;
-    }
-    if (top.t > t) break;
+  for (;;) {
+    const Time nt = L.queue.next_time();
+    if (nt == kNoEvent || nt > t) break;
     step();
   }
   if (L.now < t) {
@@ -417,13 +333,9 @@ void Engine::run_until(Time t) {
 std::uint64_t Engine::drain_lane_(Lane& L, Time horizon) {
   std::uint64_t n = 0;
   for (;;) {
-    while (!L.heap.empty() && L.stale_key(L.heap.front())) {
-      L.pop_min();
-      --L.stale;
-    }
-    if (L.heap.empty() || L.heap.front().t >= horizon) break;
-    const Lane::Key k = L.heap.front();
-    L.pop_min();
+    if (L.queue.next_time() >= horizon) break;
+    EventKey k;
+    L.queue.pop_min_live(k);
     Callback cb = std::move(L.slots[k.slot].cb);
     L.free_slot(k.slot);
     --L.live;
@@ -452,23 +364,24 @@ void Engine::drain_outboxes_() {
           throw std::logic_error(
               "PDES: cross-lane event behind the target lane's clock "
               "(lookahead contract violated)");
-      // Bulk merge: for a large batch, append every key unsifted and restore
-      // the heap once with Floyd's O(n) rebuild — cheaper than per-key
-      // sift-up when the batch rivals the heap. Pop order depends only on
-      // the (time, seq) keys, which are assigned identically either way.
-      const bool bulk = q.size() >= 32 && q.size() * 8 >= target.heap.size();
+      // Bulk merge: for a large batch, take the queue's append path — the
+      // heap arm appends every key unsifted and restores order once with
+      // Floyd's O(n) rebuild, the ladder arm's filing is O(1) per key
+      // either way. Pop order depends only on the (time, seq) keys, which
+      // are assigned identically on every path.
+      const bool bulk = q.size() >= 32 && q.size() * 8 >= target.queue.size();
       for (Lane::Post& p : q) {
         if (bulk) {
           const std::uint32_t slot = target.alloc_slot();
           const std::uint32_t gen = target.gens[slot];
           target.slots[slot].cb = std::move(p.cb);
-          target.heap.push_back(Lane::Key{p.t, target.next_seq++, slot, gen});
+          target.queue.append(EventKey{p.t, target.next_seq++, slot, gen});
           ++target.live;
         } else {
           schedule_(target, p.t, std::move(p.cb));
         }
       }
-      if (bulk) target.rebuild_heap();
+      if (bulk) target.queue.commit_batch();
       q.clear();
     }
     lp->touched.clear();
@@ -584,8 +497,8 @@ std::uint64_t Engine::run_pdes_(std::uint64_t max_events, Time bound) {
         // lanes have fired exactly their events with t < t_excl, so the
         // callback may read (and schedule into) any lane directly.
         Lane& E = lane_(excl_);
-        const Lane::Key k = E.heap.front();
-        E.pop_min();
+        EventKey k;
+        E.queue.pop_min_live(k);
         Callback cb = std::move(E.slots[k.slot].cb);
         E.free_slot(k.slot);
         --E.live;
@@ -594,7 +507,7 @@ std::uint64_t Engine::run_pdes_(std::uint64_t max_events, Time bound) {
         cur_lane_ = excl_;
         ++E.fired;
         ++fired_run;
-            cb();
+        cb();
         cur_lane_ = 0;
         continue;
       }
@@ -688,7 +601,7 @@ std::size_t Engine::slab_slots() const {
 
 std::size_t Engine::queue_depth() const {
   std::size_t n = 0;
-  for (const auto& lp : lanes_) n += lp->heap.size();
+  for (const auto& lp : lanes_) n += lp->queue.size();
   return n;
 }
 

@@ -35,6 +35,14 @@ contract"):
                   lookahead contract is enforced at the call site. A plain
                   at()/after() that provably stays in the current lane takes
                   the allow() escape with a justification.
+  event-queue     std::priority_queue / make_heap / push_heap / pop_heap in
+                  src/. Hand-rolled timer queues bypass the engine's tiered
+                  event queue (sim::EventQueue): cancels degrade to O(n) and
+                  the (time, seq) total order the byte-identical-output
+                  contract rests on is easy to get subtly wrong. Schedule
+                  through sim::Engine; the engine's own queue files are
+                  exempt. (bench/ is out of scope — the frozen LegacyEngine
+                  baseline in bench_micro keeps its priority_queue.)
 
 Escape hatch: a finding is suppressed by `dpar-lint: allow(<rule>)` in a
 comment on the offending line or in the contiguous //-comment block directly
@@ -71,11 +79,21 @@ RULES = {
     "uninit-config": "uninitialized POD member in a *Config/*Params struct",
     "pdes-lane-channel": "direct Engine at()/after() in a cross-LP path "
                          "(route through at_in/after_in or at_all/after_all)",
+    "event-queue": "hand-rolled heap/priority-queue in src/ "
+                   "(schedule through sim::Engine / sim::EventQueue)",
 }
 
 # Files exempt from a rule (relative to the repo root, forward slashes).
 RULE_EXEMPT_FILES = {
     "raw-random": {"src/sim/rng.hpp"},
+    # The engine's own queue layer is the one sanctioned home for heap
+    # primitives: the tiered queue's front heap and the frozen differential
+    # oracle.
+    "event-queue": {
+        "src/sim/event_queue.hpp",
+        "src/sim/event_queue.cpp",
+        "src/sim/queue_reference.cpp",
+    },
 }
 
 # Files where a rule applies at all (relative to the repo root). Entries
@@ -95,6 +113,14 @@ RULE_ONLY_FILES = {
         "src/dualpar/",
         "src/fault/",
         "src/replica/",
+        "tools/lint_fixtures/bad.cpp",
+        "tools/lint_fixtures/good.cpp",
+    },
+    # event-queue only polices the simulator tree: bench/ keeps its frozen
+    # LegacyEngine priority_queue baseline, and tests may build ad-hoc heaps
+    # as oracles.
+    "event-queue": {
+        "src/",
         "tools/lint_fixtures/bad.cpp",
         "tools/lint_fixtures/good.cpp",
     },
@@ -166,6 +192,13 @@ UNINIT_MEMBER_RE = re.compile(
     r"^\s*(?:" + POD_TYPES + r")\s+(\w+)\s*;\s*(?://.*)?$"
 )
 CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*(?:Config|Params))\b")
+
+# Heap primitives outside the engine's queue layer: the container adapter and
+# the <algorithm> heap family (std-qualified or ADL-bare with iterator args).
+EVENT_QUEUE_PATTERNS = [
+    re.compile(r"\bstd\s*::\s*priority_queue\b"),
+    re.compile(r"(?:\bstd\s*::\s*|(?<![\w:]))(?:make|push|pop|sort)_heap\s*\("),
+]
 
 # Direct Engine scheduling in a cross-LP file: an engine-named receiver
 # (`eng_`, `engine()`, ...) followed by `.at(` or `.after(`. The lane-routed
@@ -276,6 +309,10 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
                 break
         if PDES_CHANNEL_RE.search(line):
             emit(idx, "pdes-lane-channel", RULES["pdes-lane-channel"])
+        for pat in EVENT_QUEUE_PATTERNS:
+            if pat.search(line):
+                emit(idx, "event-queue", RULES["event-queue"])
+                break
 
     # pointer-key: declarations may span lines; report at the declaration's
     # first line.

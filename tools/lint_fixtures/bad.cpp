@@ -2,14 +2,17 @@
 // marker naming its rule. The self-test requires the linter to
 // produce exactly this finding set — a missed line means a rule regressed, an
 // extra line means a new false positive. This file is never compiled.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
 #include <map>
+#include <queue>
 #include <random>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace fixture {
 
@@ -72,6 +75,19 @@ struct TunableParams {
 struct RunConfig {
   std::size_t workers;        // expect(uninit-config)
   std::uint32_t seed = 7;
+};
+
+// ---- event-queue ---------------------------------------------------------
+// A hand-rolled timer queue beside the engine: cancels degrade to O(n) pile-up
+// and the (time, seq) pop order is easy to get subtly wrong.
+struct AdHocTimerQueue {
+  std::priority_queue<long> pending_;          // expect(event-queue)
+  std::vector<long> heap_;
+  void rebuild() {
+    std::make_heap(heap_.begin(), heap_.end());  // expect(event-queue)
+    push_heap(heap_.begin(), heap_.end());       // expect(event-queue)
+    std::pop_heap(heap_.begin(), heap_.end());   // expect(event-queue)
+  }
 };
 
 // ---- pdes-lane-channel ---------------------------------------------------

@@ -69,6 +69,22 @@ struct TunableParams {
   std::vector<int> weights;  // non-POD members need no "= ..." to be defined
 };
 
+// Heap-adjacent identifiers and sanctioned orderings the event-queue rule
+// must not flag: sorting is fine (only the heap family is banned), names
+// merely containing "heap" are not calls of it, and a genuinely lane-local
+// scratch heap takes the allow escape with a justification.
+struct ScratchRanking {
+  std::vector<int> scores_;
+  long heap_bytes_ = 0;  // member named *heap* is not a heap primitive
+  void order() { std::sort(scores_.begin(), scores_.end()); }
+  long measure_heap_usage() { return heap_bytes_; }  // not make_heap(
+  void top_k() {
+    // dpar-lint: allow(event-queue) transient scratch ranking, never holds
+    // simulator events — the engine's queue is not bypassed
+    std::make_heap(scores_.begin(), scores_.end());
+  }
+};
+
 // Cross-LP file (this fixture stands in for one via RULE_ONLY_FILES): the
 // lane-routed and batch scheduling calls are the sanctioned channel, and a
 // provably lane-local call takes the allow escape with a justification.
