@@ -24,6 +24,7 @@
 
 #include "fault/plan.hpp"
 #include "fault/status.hpp"
+#include "sim/lane_annotations.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -106,7 +107,9 @@ class FaultInjector {
   /// Extra service CPU for one request of `server` (0 most of the time).
   sim::Time server_stall(std::uint32_t server);
   /// Called by DataServer::crash()/restart(); fans out to listeners.
-  void note_server_state(std::uint32_t server, bool down);
+  /// Crash/restart events are pinned to the exclusive lane, so the fan-out
+  /// (and every listener) runs with all lanes quiescent.
+  DPAR_EXCLUSIVE_LANE void note_server_state(std::uint32_t server, bool down);
   bool server_down(std::uint32_t server) const {
     return server < down_.size() && down_[server];
   }
@@ -121,7 +124,7 @@ class FaultInjector {
   /// invalidation). Registered once at testbed assembly; called in
   /// registration order.
   using ServerStateListener = std::function<void(std::uint32_t server, bool down)>;
-  void add_server_listener(ServerStateListener l) {
+  DPAR_EXCLUSIVE_LANE void add_server_listener(ServerStateListener l) {
     listeners_.push_back(std::move(l));
   }
 
@@ -136,15 +139,17 @@ class FaultInjector {
   sim::Engine& eng_;
   FaultPlan plan_;
   /// Per-lane counter shards; shards_[0] doubles as the unpartitioned shard.
-  std::vector<Counters> shards_;
+  DPAR_LANE_SAFE std::vector<Counters> shards_;
   /// Per-server streams, consumed from the server's lane only.
-  std::vector<sim::Rng> disk_rngs_;
-  std::vector<sim::Rng> server_rngs_;
+  DPAR_LANE_SAFE std::vector<sim::Rng> disk_rngs_;
+  DPAR_LANE_SAFE std::vector<sim::Rng> server_rngs_;
   /// Per-sender-node streams, consumed from the sender's lane only.
-  std::vector<sim::Rng> net_rngs_;
-  std::vector<bool> down_;
-  std::uint32_t servers_down_ = 0;
-  std::vector<ServerStateListener> listeners_;
+  DPAR_LANE_SAFE std::vector<sim::Rng> net_rngs_;
+  // Server up/down state: flipped only by the exclusive-lane crash/restart
+  // events (read freely — every lane sees a quiescent-consistent value).
+  DPAR_EXCLUSIVE_LANE std::vector<bool> down_;
+  DPAR_EXCLUSIVE_LANE std::uint32_t servers_down_ = 0;
+  DPAR_EXCLUSIVE_LANE std::vector<ServerStateListener> listeners_;
 };
 
 }  // namespace dpar::fault

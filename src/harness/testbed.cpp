@@ -252,17 +252,20 @@ std::uint64_t Testbed::run(std::uint64_t max_events) {
   // certain period of time", §IV-D); re-arms only while jobs live so the
   // queue can drain. Runs on the exclusive lane: the cache holds chunks on
   // every compute node, so eviction is cross-lane state by nature.
-  std::function<void()> evict_tick = [this, &evict_tick] {
-    cache_->evict_idle(eng_.now());
-    if (!all_jobs_finished())
-      eng_.after_in(eng_.exclusive_lane(), cfg_.cache.idle_eviction / 2, evict_tick);
-  };
-  eng_.after_in(eng_.exclusive_lane(), cfg_.cache.idle_eviction / 2, evict_tick);
+  eng_.after_in(eng_.exclusive_lane(), cfg_.cache.idle_eviction / 2,
+                [this] { evict_tick_(); });
   const std::uint64_t fired = eng_.run(max_events);
   if (!all_jobs_finished())
     throw std::runtime_error("Testbed::run: event queue drained before all jobs "
                              "finished (deadlock?)");
   return fired;
+}
+
+void Testbed::evict_tick_() {
+  cache_->evict_idle(eng_.now());
+  if (!all_jobs_finished())
+    eng_.after_in(eng_.exclusive_lane(), cfg_.cache.idle_eviction / 2,
+                  [this] { evict_tick_(); });
 }
 
 bool Testbed::all_jobs_finished() const {

@@ -143,6 +143,10 @@ class Testbed {
   /// injector/EMC shard sizing). Called from the first run(); idempotent.
   void finalize_partition_();
 
+  /// One idle-eviction sweep on the exclusive lane; re-arms itself while
+  /// jobs live so the event queue can drain at the end of the run.
+  void evict_tick_();
+
   TestbedConfig cfg_;
   sim::Engine eng_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/func.hpp"
+#include "sim/lane_annotations.hpp"
 #include "sim/stats.hpp"
 
 namespace dpar::mpi {
@@ -207,10 +208,11 @@ class Job {
   // Split-lane coordination (exclusive-lane side). Notes carry the original
   // rank-lane timestamps so the release time and completion time are computed
   // from when things actually happened, not when the notes arrived.
-  void barrier_note_(std::uint32_t rank, sim::Time entered,
-                     std::uint64_t payload_bytes, sim::UniqueFunction resume);
-  void finish_note_(sim::Time ended);
-  void release_coord_barrier_if_ready_();
+  DPAR_EXCLUSIVE_LANE void barrier_note_(std::uint32_t rank, sim::Time entered,
+                                         std::uint64_t payload_bytes,
+                                         sim::UniqueFunction resume);
+  DPAR_EXCLUSIVE_LANE void finish_note_(sim::Time ended);
+  DPAR_EXCLUSIVE_LANE void release_coord_barrier_if_ready_();
   sim::LaneId rank_lane_(std::uint32_t rank);
 
   void comm_transfer(std::uint32_t src_rank, std::uint32_t dst_rank,
@@ -245,7 +247,7 @@ class Job {
     sim::Time entered;
     sim::UniqueFunction resume;
   };
-  std::vector<CoordWaiter> coord_waiters_;
+  DPAR_EXCLUSIVE_LANE std::vector<CoordWaiter> coord_waiters_;
 
   // Point-to-point rendezvous queues, keyed by (src, dst, tag).
   struct CommKey {

@@ -10,6 +10,7 @@
 #include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "pfs/file_system.hpp"
+#include "sim/lane_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace dpar::mpiio {
@@ -44,8 +45,12 @@ class ClientPool {
 class RequestObserver {
  public:
   virtual ~RequestObserver() = default;
-  virtual void observe(std::uint32_t job_id, pfs::FileId file,
-                       const std::vector<pfs::Segment>& segments, sim::Time now) = 0;
+  /// Called from the issuing rank's lane, possibly inside a parallel
+  /// window: implementations must buffer lane-locally (or route through the
+  /// lane channel) — never reach raw Engine::at()/after().
+  DPAR_CROSS_LANE_API virtual void observe(
+      std::uint32_t job_id, pfs::FileId file,
+      const std::vector<pfs::Segment>& segments, sim::Time now) = 0;
 };
 
 /// Everything a driver needs to reach the storage system.

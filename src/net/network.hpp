@@ -22,6 +22,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/func.hpp"
+#include "sim/lane_annotations.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -53,8 +54,8 @@ class Network {
   /// Deliver `bytes` from `from` to `to`; `delivered` fires at the receiver
   /// once the payload has fully arrived. Loopback messages skip the fabric
   /// and cost only a small local copy.
-  void send(NodeId from, NodeId to, std::uint64_t bytes,
-            sim::UniqueFunction delivered);
+  DPAR_CROSS_LANE_API void send(NodeId from, NodeId to, std::uint64_t bytes,
+                           sim::UniqueFunction delivered);
 
   std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nics_.size()); }
   const NetParams& params() const { return params_; }

@@ -27,6 +27,7 @@
 #include "pfs/file_system.hpp"
 #include "replica/placement.hpp"
 #include "sim/engine.hpp"
+#include "sim/lane_annotations.hpp"
 
 namespace dpar::replica {
 
@@ -79,7 +80,7 @@ class RepairManager {
 
   /// Track a freshly created file (all copies start valid). Called by
   /// FileSystem::create.
-  void register_file(pfs::FileId id, std::uint64_t size);
+  DPAR_EXCLUSIVE_LANE void register_file(pfs::FileId id, std::uint64_t size);
 
   /// The calling lane's ledger shard (hot client paths); aggregate readers
   /// use total().
@@ -89,15 +90,16 @@ class RepairManager {
 
   /// Arm the periodic scan/dispatch tick (exclusive lane) and hook the
   /// injector's server up/down listener. Called from Testbed::run.
-  void start();
+  DPAR_EXCLUSIVE_LANE void start();
   /// One scan/dispatch step (also callable directly from tests).
-  void tick();
+  DPAR_EXCLUSIVE_LANE void tick();
 
   /// Client-lane entry point: copies of `chunks` under `role` failed a write
   /// for good and are now stale. The note is posted into the exclusive lane
   /// `note_delay` ahead (at least the PDES lookahead); effects commute.
-  void post_invalid_copies(pfs::FileId file, std::uint32_t role,
-                           std::vector<std::uint64_t> chunks);
+  DPAR_CROSS_LANE_API void post_invalid_copies(pfs::FileId file,
+                                          std::uint32_t role,
+                                          std::vector<std::uint64_t> chunks);
 
   /// Tracker snapshot; call after the run (or from the exclusive lane).
   DurabilityReport report() const;
@@ -122,22 +124,26 @@ class RepairManager {
     std::vector<std::uint64_t> issue;
   };
 
-  void on_server_state_(std::uint32_t server, bool down);
-  void note_invalid_(FileState& f, std::uint64_t chunk, std::uint32_t role);
-  void repair_done_(std::size_t file_idx, std::uint64_t chunk,
-                    std::uint32_t role, std::uint64_t issue_id,
-                    std::uint32_t issued_seq, fault::Status st);
+  DPAR_EXCLUSIVE_LANE void on_server_state_(std::uint32_t server, bool down);
+  DPAR_EXCLUSIVE_LANE void note_invalid_(FileState& f, std::uint64_t chunk,
+                                         std::uint32_t role);
+  DPAR_EXCLUSIVE_LANE void repair_done_(std::size_t file_idx,
+                                        std::uint64_t chunk, std::uint32_t role,
+                                        std::uint64_t issue_id,
+                                        std::uint32_t issued_seq,
+                                        fault::Status st);
   /// Fold elapsed time into the under-replicated chunk-seconds accumulator,
   /// then recount. Call on the exclusive lane around every state change.
-  void touch_();
+  DPAR_EXCLUSIVE_LANE void touch_();
   std::uint64_t count_under_() const;
   bool copy_live_(const FileState& f, std::uint64_t chunk,
                   std::uint32_t role) const;
   /// Issue one repair copy source -> target for (file, chunk, role).
-  void issue_repair_(std::size_t file_idx, std::uint64_t chunk,
-                     std::uint32_t role, std::uint32_t source_role);
+  DPAR_EXCLUSIVE_LANE void issue_repair_(std::size_t file_idx,
+                                         std::uint64_t chunk, std::uint32_t role,
+                                         std::uint32_t source_role);
   bool deficit_actionable_() const;
-  void arm_tick_();
+  DPAR_EXCLUSIVE_LANE void arm_tick_();
 
   sim::Engine& eng_;
   net::Network& net_;
@@ -147,19 +153,23 @@ class RepairManager {
   net::NodeId mds_node_;
   std::function<bool()> jobs_live_;
   sim::Time note_delay_;
-  std::vector<Counters> shards_;
-  std::vector<FileState> tracked_;
+  /// Per-lane durability-ledger shards: counters() hands each client lane
+  /// its own shard, so no routing is needed on the hot write/read paths.
+  DPAR_LANE_SAFE std::vector<Counters> shards_;
+  // Tracker state below: mutated only with every lane quiescent (see the
+  // concurrency contract at the top of this file).
+  DPAR_EXCLUSIVE_LANE std::vector<FileState> tracked_;
   // Token bucket for repair bandwidth.
-  double repair_tokens_ = 0.0;
-  sim::Time last_tick_ = 0;
+  DPAR_EXCLUSIVE_LANE double repair_tokens_ = 0.0;
+  DPAR_EXCLUSIVE_LANE sim::Time last_tick_ = 0;
   // Under-replicated chunk-seconds accumulator.
-  std::uint64_t under_now_ = 0;
-  sim::Time under_since_ = 0;
-  double under_chunk_ns_ = 0.0;
-  std::uint64_t in_flight_ = 0;
-  std::uint64_t next_issue_ = 1;
-  bool ticking_ = false;
-  bool started_ = false;
+  DPAR_EXCLUSIVE_LANE std::uint64_t under_now_ = 0;
+  DPAR_EXCLUSIVE_LANE sim::Time under_since_ = 0;
+  DPAR_EXCLUSIVE_LANE double under_chunk_ns_ = 0.0;
+  DPAR_EXCLUSIVE_LANE std::uint64_t in_flight_ = 0;
+  DPAR_EXCLUSIVE_LANE std::uint64_t next_issue_ = 1;
+  DPAR_EXCLUSIVE_LANE bool ticking_ = false;
+  DPAR_EXCLUSIVE_LANE bool started_ = false;
 };
 
 }  // namespace dpar::replica

@@ -1,0 +1,75 @@
+// Lane-ownership annotations — the static half of the PDES lane contract.
+//
+// The conservative-PDES engine (engine.hpp) enforces lane isolation at
+// runtime: DPAR_ASSERT aborts on a cross-lane post inside the lookahead
+// window, a cross-lane cancel inside a window, or an event landing behind
+// the target lane's clock. Those checks only fire on the path a given run
+// happens to execute. The macros below make the same contract a property of
+// the *source*, checked over every path by tools/dpar_analyze.py (the
+// capability model follows Clang's thread-safety analysis: state declares
+// who may touch it, entry points declare what context they run in, and the
+// analyzer proves the two agree).
+//
+//   DPAR_LANE_OWNED(lane_expr)
+//       On a class: every instance is owned by the lane `lane_expr`
+//       evaluates to (an expression over the class's own members, e.g.
+//       `lane_` or `lane_of(node_)`). Methods run in that lane; posting a
+//       callback that captures `this` into a *different* lane is flagged.
+//   DPAR_EXCLUSIVE_LANE
+//       On a data member: mutated only while every other lane is quiescent
+//       — i.e. from the engine's exclusive lane (EMC fold state, the repair
+//       tracker, the durability ledger). On a function: the function is an
+//       exclusive-lane note handler (it only ever runs as an exclusive-lane
+//       event, or during setup/teardown when no window is executing), so it
+//       may mutate DPAR_EXCLUSIVE_LANE members.
+//   DPAR_LANE_SAFE
+//       On a data member: safe to touch from any lane without routing —
+//       per-lane sharded tables (counter shards, observation shards),
+//       immutable-after-setup configuration, or state whose indexing
+//       guarantees one-lane access. The justification belongs in a comment
+//       at the member.
+//   DPAR_CROSS_LANE_API
+//       On a function: entry point invoked on behalf of callers in other
+//       logical processes (Network::send, Emc::observe, the robust-client
+//       retry protocol). No synchronous call path from such a function may
+//       reach raw Engine::at()/after() — scheduling must go through the
+//       lane-routed channel (at_in/after_in/at_all_in) or the batch
+//       variants, or carry a reviewed `// dpar-lint: allow(...)` escape.
+//
+// Cost: zero, everywhere. Under Clang the macros expand to
+// __attribute__((annotate("dpar::..."))), which emits no object code (the
+// annotation lives in IR-only metadata, dropped at object emission — the
+// AnnotationsZeroCost ctest diffs the generated code to prove it). Under
+// any other compiler, or with DPAR_NO_LANE_ANNOTATIONS defined, they expand
+// to nothing at all. tools/dpar_analyze.py reads the attributes through
+// libclang when available and falls back to recognizing the macro tokens
+// textually, so the contract is checked even where clang is not installed.
+#pragma once
+
+#if !defined(DPAR_NO_LANE_ANNOTATIONS) && defined(__clang__) && \
+    defined(__has_attribute)
+#if __has_attribute(annotate)
+#define DPAR_LANE_ANNOTATE(text) __attribute__((annotate(text)))
+#endif
+#endif
+#ifndef DPAR_LANE_ANNOTATE
+#define DPAR_LANE_ANNOTATE(text)
+#endif
+
+/// Class attribute: instances are owned by the lane `__VA_ARGS__` evaluates
+/// to. Placed between the class-key and the class name:
+///   class DPAR_LANE_OWNED(lane_) RetryClient { ... };
+#define DPAR_LANE_OWNED(...) \
+  DPAR_LANE_ANNOTATE("dpar::lane_owned=" #__VA_ARGS__)
+
+/// Member: mutated only with every lane quiescent (exclusive-lane events,
+/// setup, teardown). Function: an exclusive-lane note handler.
+#define DPAR_EXCLUSIVE_LANE DPAR_LANE_ANNOTATE("dpar::exclusive_lane")
+
+/// Member: provably safe to touch from any lane (sharded / frozen after
+/// setup / one-lane indexed); say why in a comment.
+#define DPAR_LANE_SAFE DPAR_LANE_ANNOTATE("dpar::lane_safe")
+
+/// Function: entry point for cross-logical-process callers; must not reach
+/// raw Engine::at()/after() on any synchronous call path.
+#define DPAR_CROSS_LANE_API DPAR_LANE_ANNOTATE("dpar::cross_lane_api")

@@ -1,0 +1,114 @@
+// Lane-annotation contract (sim/lane_annotations.hpp): the macros are pure
+// metadata. They must not change a type's layout or triviality, and they
+// must not alter the *runtime* half of the lane contract — an annotated
+// class trips exactly the same engine invariants as an unannotated one.
+// (The disabled-path compile check lives in test_lane_annotations_disabled.cpp;
+// the object-code diff lives in the AnnotationsZeroCost ctest.)
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/lane_annotations.hpp"
+
+namespace dpar {
+namespace {
+
+// ---- layout / triviality parity -------------------------------------------
+// Twin structs, identical but for the annotations. Every observable type
+// property must agree, with or without clang's annotate attribute in play.
+
+struct Plain {
+  std::uint64_t tracked = 0;
+  std::uint32_t shard = 0;
+  void note() { ++tracked; }
+};
+
+class DPAR_LANE_OWNED(shard) Annotated {
+ public:
+  DPAR_EXCLUSIVE_LANE std::uint64_t tracked = 0;
+  DPAR_LANE_SAFE std::uint32_t shard = 0;
+  DPAR_CROSS_LANE_API void note() { ++tracked; }
+};
+
+static_assert(sizeof(Annotated) == sizeof(Plain),
+              "lane annotations changed object layout");
+static_assert(alignof(Annotated) == alignof(Plain),
+              "lane annotations changed alignment");
+static_assert(std::is_trivially_copyable_v<Annotated> ==
+                  std::is_trivially_copyable_v<Plain>,
+              "lane annotations changed triviality");
+static_assert(std::is_standard_layout_v<Annotated> ==
+                  std::is_standard_layout_v<Plain>,
+              "lane annotations changed standard-layout-ness");
+
+TEST(LaneAnnotations, AnnotatedTypeBehavesIdentically) {
+  Annotated a;
+  a.note();
+  a.note();
+  EXPECT_EQ(a.tracked, 2u);
+  Plain p;
+  p.note();
+  p.note();
+  EXPECT_EQ(p.tracked, a.tracked);
+}
+
+// ---- runtime parity --------------------------------------------------------
+// The static analyzer and the engine's DPAR_ASSERT guard the same invariant
+// from two sides. Annotating a class must leave the runtime side untouched:
+// a DPAR_LANE_OWNED poster that violates the conservative protocol dies (or
+// throws, in release) exactly like the unannotated equivalents in
+// test_sim_engine.cpp / test_pdes_faults.cpp.
+
+class DPAR_LANE_OWNED(lane_) AnnotatedPoster {
+ public:
+  AnnotatedPoster(sim::Engine& eng, sim::LaneId lane, sim::LaneId peer)
+      : eng_(eng), lane_(lane), peer_(peer) {}
+
+  // Deliberately violating: a cross-lane post closer than the lookahead,
+  // issued from inside the owning lane's window.
+  void arm_bad_post() {
+    eng_.at_in(lane_, sim::usec(1), [this] {
+      eng_.at_in(peer_, eng_.now() + sim::usec(1), [] {});
+    });
+  }
+
+ private:
+  sim::Engine& eng_;
+  sim::LaneId lane_;
+  sim::LaneId peer_;
+};
+
+#if DPAR_CHECK_INVARIANTS
+TEST(LaneAnnotationsDeath, AnnotatedCrossLanePostTripsSameAssert) {
+  EXPECT_DEATH(
+      {
+        sim::Engine eng;
+        const sim::LaneId a = eng.add_lane();
+        const sim::LaneId b = eng.add_lane();
+        eng.set_lookahead(sim::usec(50));
+        eng.set_pdes_workers(1);
+        AnnotatedPoster poster(eng, a, b);
+        poster.arm_bad_post();
+        eng.run();
+      },
+      "cross-lane event inside the lookahead window");
+}
+#else
+TEST(LaneAnnotationsDeath, AnnotatedCrossLanePostThrowsReleaseBackstop) {
+  sim::Engine eng;
+  const sim::LaneId a = eng.add_lane();
+  const sim::LaneId b = eng.add_lane();
+  eng.set_lookahead(sim::usec(50));
+  eng.set_pdes_workers(1);
+  eng.at_in(b, sim::usec(20), [] {});  // advances b's clock past the bad post
+  AnnotatedPoster poster(eng, a, b);
+  poster.arm_bad_post();
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+#endif  // DPAR_CHECK_INVARIANTS
+
+}  // namespace
+}  // namespace dpar

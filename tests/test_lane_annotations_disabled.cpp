@@ -1,0 +1,47 @@
+// The DPAR_NO_LANE_ANNOTATIONS escape: a build that defines it (say, a
+// compiler that chokes on the annotate attribute) must still compile every
+// macro use and produce identical types. This TU is the proof — it defines
+// the opt-out before the header is ever seen, then exercises all four
+// macros in every sanctioned position. Kept free of library headers so the
+// per-TU macro state cannot create mixed definitions of shared classes.
+#define DPAR_NO_LANE_ANNOTATIONS 1
+
+#include <cstdint>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "sim/lane_annotations.hpp"
+
+namespace dpar {
+namespace {
+
+struct Plain {
+  std::uint64_t tracked = 0;
+  std::uint32_t shard = 0;
+  void note() { ++tracked; }
+};
+
+class DPAR_LANE_OWNED(shard) Disabled {
+ public:
+  DPAR_EXCLUSIVE_LANE std::uint64_t tracked = 0;
+  DPAR_LANE_SAFE std::uint32_t shard = 0;
+  DPAR_CROSS_LANE_API void note() { ++tracked; }
+  DPAR_EXCLUSIVE_LANE void fold() { tracked = 0; }
+};
+
+static_assert(sizeof(Disabled) == sizeof(Plain),
+              "disabled annotations must be invisible to layout");
+static_assert(std::is_trivially_copyable_v<Disabled> ==
+              std::is_trivially_copyable_v<Plain>);
+
+TEST(LaneAnnotationsDisabled, MacrosExpandToNothing) {
+  Disabled d;
+  d.note();
+  EXPECT_EQ(d.tracked, 1u);
+  d.fold();
+  EXPECT_EQ(d.tracked, 0u);
+}
+
+}  // namespace
+}  // namespace dpar

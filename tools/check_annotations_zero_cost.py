@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Prove sim/lane_annotations.hpp is free: zero object-code delta.
+
+Compiles one probe TU — exercising all four lane macros in every sanctioned
+position (class, data member, method declaration, out-of-line definition,
+free function) — twice with the build's own compiler: once as-is, once with
+-DDPAR_NO_LANE_ANNOTATIONS. The two object files must describe the same
+program:
+
+  1. byte-identical objects        -> trivially zero-cost (the GCC path:
+                                      the macros expand to nothing), or
+  2. identical disassembly AND     -> zero-cost (the clang path: annotate
+     identical allocatable            attributes live in IR-only metadata
+     section sizes                    and must be dropped at emission; only
+                                      non-allocatable noise may differ).
+
+Anything else — a code byte, a symbol, an allocated data byte — fails the
+test: the "annotations are pure metadata" claim in the header would be a
+lie, and every hot path that includes it would be paying for documentation.
+
+Wired as ctest AnnotationsZeroCost. Exit 0 pass (or SKIP without a
+compiler), 1 the annotations cost something, 2 harness error.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+PROBE = r"""
+#include <cstdint>
+
+#include "sim/lane_annotations.hpp"
+
+namespace probe {
+
+class DPAR_LANE_OWNED(lane_) Client {
+ public:
+  DPAR_CROSS_LANE_API std::uint64_t bump(std::uint64_t v);
+  DPAR_EXCLUSIVE_LANE void fold();
+
+  DPAR_EXCLUSIVE_LANE std::uint64_t tracked_ = 0;
+  DPAR_LANE_SAFE std::uint32_t lane_ = 0;
+};
+
+std::uint64_t Client::bump(std::uint64_t v) {
+  tracked_ += v * 3 + 1;
+  return tracked_;
+}
+
+void Client::fold() { tracked_ = 0; }
+
+DPAR_CROSS_LANE_API std::uint64_t drive(Client& c, std::uint64_t n) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) acc ^= c.bump(i);
+  c.fold();
+  return acc;
+}
+
+}  // namespace probe
+"""
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, **kw)
+
+
+def compile_probe(cxx, src_dir, probe_cpp, out, extra):
+    cmd = [cxx, "-std=c++20", "-O2", "-I", src_dir, "-c", probe_cpp,
+           "-o", out] + extra
+    proc = run(cmd)
+    if proc.returncode != 0:
+        print(f"zero-cost: probe failed to compile: {' '.join(cmd)}",
+              file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        return False
+    return True
+
+
+def disassembly(objdump, obj):
+    """Normalized `objdump -d` text, or None when objdump is unusable."""
+    proc = run([objdump, "-d", obj])
+    if proc.returncode != 0:
+        return None
+    # Drop the path-bearing header line so tmpdir names cannot differ.
+    return "\n".join(l for l in proc.stdout.splitlines()
+                     if ":     file format " not in l)
+
+
+def alloc_sections(readelf, obj):
+    """(name, size) of allocatable sections, or None when readelf is
+    unusable. Non-alloc sections (.comment, debug, clang's metadata leftovers)
+    cost nothing at runtime and are ignored."""
+    proc = run([readelf, "-S", "-W", obj])
+    if proc.returncode != 0:
+        return None
+    rows = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("["):
+            continue
+        parts = line.split("]", 1)[-1].split()
+        # Name Type Address Off Size ES Flg Lk Inf Al
+        if len(parts) >= 7 and "A" in parts[6]:
+            rows.append((parts[0], parts[4]))
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--cxx", default=None,
+                    help="compiler to probe with (default: $CXX, then c++)")
+    args = ap.parse_args()
+
+    cxx = args.cxx or os.environ.get("CXX")
+    if not cxx:
+        for cand in ("c++", "g++", "clang++"):
+            if shutil.which(cand):
+                cxx = cand
+                break
+    if not cxx or not shutil.which(cxx):
+        print("zero-cost: SKIP — no C++ compiler found")
+        return 0
+
+    src_dir = os.path.join(args.root, "src")
+    header = os.path.join(src_dir, "sim", "lane_annotations.hpp")
+    if not os.path.isfile(header):
+        print(f"zero-cost: {header} missing", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="dpar_zero_cost_") as tmp:
+        probe_cpp = os.path.join(tmp, "probe.cpp")
+        with open(probe_cpp, "w") as f:
+            f.write(PROBE)
+        on = os.path.join(tmp, "annotated.o")
+        off = os.path.join(tmp, "plain.o")
+        if not compile_probe(cxx, src_dir, probe_cpp, on, []):
+            return 2
+        if not compile_probe(cxx, src_dir, probe_cpp, off,
+                             ["-DDPAR_NO_LANE_ANNOTATIONS"]):
+            # The opt-out path MUST build everywhere; a failure here is a
+            # finding, not a harness problem.
+            print("zero-cost: FAIL — probe does not compile with "
+                  "-DDPAR_NO_LANE_ANNOTATIONS", file=sys.stderr)
+            return 1
+
+        with open(on, "rb") as f:
+            a = f.read()
+        with open(off, "rb") as f:
+            b = f.read()
+        if a == b:
+            print(f"zero-cost: PASS — byte-identical objects "
+                  f"({len(a)} bytes, {cxx})")
+            return 0
+
+        # Objects differ somewhere; the annotations are only acceptable if
+        # every *allocatable* byte and every instruction agree.
+        objdump = shutil.which("objdump")
+        readelf = shutil.which("readelf")
+        dis_a = disassembly(objdump, on) if objdump else None
+        dis_b = disassembly(objdump, off) if objdump else None
+        sec_a = alloc_sections(readelf, on) if readelf else None
+        sec_b = alloc_sections(readelf, off) if readelf else None
+        if dis_a is not None and dis_a == dis_b and \
+                sec_a is not None and sec_a == sec_b:
+            print(f"zero-cost: PASS — identical code and allocatable "
+                  f"sections; only non-allocatable metadata differs ({cxx})")
+            return 0
+        print("zero-cost: FAIL — the annotations changed the object code",
+              file=sys.stderr)
+        if dis_a is not None and dis_a != dis_b:
+            print("zero-cost: disassembly differs", file=sys.stderr)
+        if sec_a is not None and sec_a != sec_b:
+            print(f"zero-cost: allocatable sections differ:\n"
+                  f"  with annotations: {sec_a}\n"
+                  f"  without:          {sec_b}", file=sys.stderr)
+        if dis_a is None or sec_a is None:
+            print("zero-cost: (no objdump/readelf to localize the delta)",
+                  file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

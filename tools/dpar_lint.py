@@ -44,6 +44,17 @@ contract"):
                   exempt. (bench/ is out of scope — the frozen LegacyEngine
                   baseline in bench_micro keeps its priority_queue.)
 
+  stale-allow     A `dpar-lint: allow(<rule>)` comment that suppresses no
+                  finding. Allows rot: the offending line gets refactored
+                  away and the suppression lingers, silently masking the
+                  next real violation at that site. Every allow must still
+                  be load-bearing; remove it (or re-justify it against the
+                  line it now covers) when the code it excused is gone.
+                  Allows naming rules this linter does not own — e.g.
+                  dpar_analyze's cross-lane-post / lane-capture /
+                  exclusive-lane-write / nondet-feeds-post — are skipped,
+                  not flagged: the comment namespace is shared across tools.
+
 Escape hatch: a finding is suppressed by `dpar-lint: allow(<rule>)` in a
 comment on the offending line or in the contiguous //-comment block directly
 above it. Every allow is expected to carry a justification.
@@ -81,6 +92,8 @@ RULES = {
                          "(route through at_in/after_in or at_all/after_all)",
     "event-queue": "hand-rolled heap/priority-queue in src/ "
                    "(schedule through sim::Engine / sim::EventQueue)",
+    "stale-allow": "dpar-lint: allow() comment that suppresses no finding "
+                   "(remove it or re-justify it)",
 }
 
 # Files exempt from a rule (relative to the repo root, forward slashes).
@@ -253,18 +266,20 @@ def strip_strings_and_comments(line):
 
 
 def allowed(lines, idx, rule):
-    """True when line idx (0-based) or the contiguous //-comment block above
-    it carries `dpar-lint: allow(rule)`."""
+    """0-based line index of the `dpar-lint: allow(rule)` comment covering
+    line idx — the line itself or the contiguous //-comment block directly
+    above it — or None when the finding is not suppressed. (Truthiness is a
+    trap here: index 0 is a valid answer. Compare against None.)"""
     m = ALLOW_RE.search(lines[idx])
     if m and m.group(1) == rule:
-        return True
+        return idx
     j = idx - 1
     while j >= 0 and LINE_COMMENT_RE.match(lines[j]):
         m = ALLOW_RE.search(lines[j])
         if m and m.group(1) == rule:
-            return True
+            return j
         j -= 1
-    return False
+    return None
 
 
 def collect_unordered_names(text):
@@ -288,14 +303,20 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
     findings = []
     lines = text.split("\n")
     clean = [strip_strings_and_comments(l) for l in lines]
+    # (allow_line_idx, rule) pairs whose allow() suppressed a finding this
+    # pass — everything else carrying a known rule name is stale.
+    used_allows = set()
 
     def emit(idx, rule, detail):
         if rel in RULE_EXEMPT_FILES.get(rule, ()):
             return
         if not rule_in_scope(rule, rel):
             return
-        if not allowed(lines, idx, rule):
-            findings.append(Finding(rel, idx + 1, rule, detail))
+        a = allowed(lines, idx, rule)
+        if a is not None:
+            used_allows.add((a, rule))
+            return
+        findings.append(Finding(rel, idx + 1, rule, detail))
 
     # wall-clock + raw-random + pdes-lane-channel: line-local patterns.
     for idx, line in enumerate(clean):
@@ -341,7 +362,8 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
     # Range-for directly over an unordered-typed temporary/expression is
     # caught by the libclang pass when available.
     if use_libclang:
-        findings.extend(libclang_range_for_findings(path, rel, lines))
+        findings.extend(libclang_range_for_findings(path, rel, lines,
+                                                    used_allows))
 
     # uninit-config: walk struct blocks named *Config/*Params.
     depth = 0
@@ -363,13 +385,33 @@ def lint_file(path, rel, text, project_unordered, use_libclang=False):
                     emit(idx, "uninit-config",
                          f"member '{m.group(1)}' of a Config/Params struct "
                          "has no initializer")
+
+    # stale-allow: runs last, once every other rule has recorded which
+    # allow() comments it actually leaned on. Rule names this linter does not
+    # own (dpar_analyze's families share the comment namespace) and rules out
+    # of scope / exempt for this file are skipped, never flagged.
+    for idx, line in enumerate(lines):
+        for m in ALLOW_RE.finditer(line):
+            rule = m.group(1)
+            if rule not in RULES or rule == "stale-allow":
+                continue
+            if rel in RULE_EXEMPT_FILES.get(rule, ()):
+                continue
+            if not rule_in_scope(rule, rel):
+                continue
+            if (idx, rule) not in used_allows:
+                emit(idx, "stale-allow",
+                     f"allow({rule}) suppresses no [{rule}] finding "
+                     "(remove it, or move it back onto the offending line)")
     return findings
 
 
-def libclang_range_for_findings(path, rel, lines):
+def libclang_range_for_findings(path, rel, lines, used_allows=None):
     """AST pass: flag range-for statements whose range expression has an
     unordered container type. Requires python clang bindings + libclang;
-    silently skipped (with a note once) when unavailable."""
+    silently skipped (with a note once) when unavailable. Allows that
+    suppress an AST finding are recorded in `used_allows` so the stale-allow
+    pass does not flag them."""
     cursor_kind, index = _libclang_handle()
     if index is None:
         return []
@@ -386,11 +428,16 @@ def libclang_range_for_findings(path, rel, lines):
                 if "unordered_" in t and node.location.file and \
                         os.path.samefile(node.location.file.name, path):
                     idx = node.location.line - 1
-                    if 0 <= idx < len(lines) and not allowed(lines, idx,
-                                                             "unordered-iter"):
-                        found.append(Finding(
-                            rel, node.location.line, "unordered-iter",
-                            f"range-for over unordered type '{t}' (libclang)"))
+                    if 0 <= idx < len(lines):
+                        a = allowed(lines, idx, "unordered-iter")
+                        if a is not None:
+                            if used_allows is not None:
+                                used_allows.add((a, "unordered-iter"))
+                        else:
+                            found.append(Finding(
+                                rel, node.location.line, "unordered-iter",
+                                f"range-for over unordered type '{t}' "
+                                "(libclang)"))
         for c in node.get_children():
             walk(c)
     walk(tu.cursor)

@@ -1,0 +1,112 @@
+// dpar-analyze golden fixture: one planted violation per analyzer rule
+// family, each tagged `// expect(<rule>)` on the exact line the finding must
+// anchor to. The self-test (tools/dpar_analyze.py --self-test, wired as
+// ctest DparAnalyze.SelfTest) fails if any seeded violation is missed OR if
+// anything else in this file is flagged. This file is never compiled, so the
+// annotation macros are stood in for textually — real code gets them from
+// src/sim/lane_annotations.hpp.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#define DPAR_LANE_OWNED(...)
+#define DPAR_EXCLUSIVE_LANE
+#define DPAR_LANE_SAFE
+#define DPAR_CROSS_LANE_API
+
+namespace fixture {
+
+struct FakeEngine {
+  template <class F> void at(long, F) {}
+  template <class F> void after(long, F) {}
+  template <class F> void at_in(int, long, F) {}
+  template <class F> void after_in(int, long, F) {}
+  template <class F> void at_all(long, F) {}
+  template <class F> void after_all(long, F) {}
+  int exclusive_lane() const { return 0; }
+};
+
+// ---- rule: cross-lane-post ------------------------------------------------
+// A cross-LP entry point reaching a raw post through a helper — exactly the
+// indirection the line-local pdes-lane-channel regex cannot see.
+struct Mailbox {
+  FakeEngine eng_;
+
+  void raw_post_helper(long t) {
+    eng_.at(t, [] {});  // expect(cross-lane-post)
+  }
+
+  DPAR_CROSS_LANE_API void deliver(long t) {
+    raw_post_helper(t);  // the violation is reported at the post, via here
+  }
+
+  DPAR_CROSS_LANE_API void deliver_direct(long t) {
+    eng_.after(t, [] {});  // expect(cross-lane-post)
+  }
+};
+
+// ---- rule: lane-capture ---------------------------------------------------
+class DPAR_LANE_OWNED(lane_) Client {
+ public:
+  // A by-reference capture of a stack-local in a deferred callback: the
+  // frame is gone when the event fires.
+  void arm() {
+    long deadline = 100;
+    eng_.after_in(lane_, 10, [&deadline] { (void)deadline; });  // expect(lane-capture)
+  }
+
+  // Default [&] on a cross-lane post hides every ownership question.
+  void broadcast() {
+    eng_.at_in(peer_, 10, [&] { (void)hits_; });  // expect(lane-capture)
+  }
+
+  // `this` is owned by lane_ (per DPAR_LANE_OWNED) but the callback is
+  // posted into peer_'s lane.
+  void wrong_lane() {
+    eng_.at_in(peer_, 10, [this] { ++hits_; });  // expect(lane-capture)
+  }
+
+ private:
+  FakeEngine eng_;
+  int lane_ = 1;
+  int peer_ = 2;
+  long hits_ = 0;
+};
+
+// ---- rule: exclusive-lane-write -------------------------------------------
+struct Ledger {
+  FakeEngine eng_;
+  DPAR_EXCLUSIVE_LANE std::vector<long> tracked_;
+  long scratch_ = 0;  // unannotated: writable anywhere
+
+  // Mutation from a plain method that is not an exclusive-lane handler.
+  void on_note() {
+    tracked_.push_back(1);  // expect(exclusive-lane-write)
+    scratch_ += 1;          // fine: not DPAR_EXCLUSIVE_LANE
+  }
+
+  // Mutation from a callback posted into a *data* lane, not the exclusive
+  // lane.
+  void defer() {
+    eng_.after_in(3, 5, [this] { tracked_.pop_back(); });  // expect(exclusive-lane-write)
+  }
+};
+
+// ---- rule: nondet-feeds-post ----------------------------------------------
+struct Sampler {
+  FakeEngine eng_;
+  std::unordered_map<int, long> stats_;
+
+  // Wall clock, raw randomness, and hash-order iteration all computed in a
+  // context that posts events: any of them can steer the schedule.
+  void kick() {
+    long seed = std::chrono::system_clock::now().time_since_epoch().count();  // expect(nondet-feeds-post)
+    std::mt19937 rng(42);  // expect(nondet-feeds-post)
+    long acc = static_cast<long>(rng());
+    for (const auto& kv : stats_) acc += kv.second;  // expect(nondet-feeds-post)
+    eng_.at(seed + acc, [] {});
+  }
+};
+
+}  // namespace fixture

@@ -132,4 +132,14 @@ struct RetryClient {
   }
 };
 
+// Allows the stale-allow pass must NOT flag: rule names owned by other
+// tools sharing the `dpar-lint:` comment namespace (here dpar_analyze's
+// cross-lane-post) are skipped rather than reported, and a used allow —
+// like every one above in this file — is load-bearing by definition.
+struct OtherToolEscape {
+  FakeEngine eng_;
+  // dpar-lint: allow(cross-lane-post) self-delivery, never leaves the lane
+  void loopback() { eng_.at_in(2, 10, [] {}); }
+};
+
 }  // namespace fixture

@@ -10,9 +10,18 @@ The container/CI image provides clang-tidy; a developer box without it gets
 a clear SKIP (exit 0) rather than a traceback, so `ctest` stays green
 locally — pass --require to turn a missing binary into a failure (CI does).
 
+A stale database is an error, not a silent partial run: if any
+CMakeLists.txt is newer than compile_commands.json, or a first-party TU on
+disk has no database entry (a new source added without re-configuring),
+run_tidy fails with a regenerate hint (exit 2) instead of tidying yesterday's
+target list and reporting "clean".
+
 Usage:
   tools/run_tidy.py [--build-dir build] [--jobs N] [--require]
                     [--filter REGEX] [files...]
+
+Exit status: 0 clean/skip, 1 diagnostics, 2 stale or missing database,
+3 --require with no clang-tidy installed.
 """
 
 import argparse
@@ -51,12 +60,60 @@ def find_tidy():
 def load_database(build_dir):
     db_path = os.path.join(build_dir, "compile_commands.json")
     if not os.path.isfile(db_path):
-        raise SystemExit(
-            f"run_tidy: {db_path} not found — configure with "
-            "`cmake -B build -S .` first (CMAKE_EXPORT_COMPILE_COMMANDS is "
-            "already ON in CMakeLists.txt)")
+        print(f"run_tidy: {db_path} not found — configure with "
+              "`cmake -B build -S .` first (CMAKE_EXPORT_COMPILE_COMMANDS is "
+              "already ON in CMakeLists.txt)", file=sys.stderr)
+        sys.exit(2)
     with open(db_path) as f:
-        return json.load(f)
+        return json.load(f), db_path
+
+
+# The trees whose TUs the database must cover (they match FIRST_PARTY_RE and
+# are all wired into always-built targets).
+FIRST_PARTY_DIRS = ("src", "bench", "tests", "examples")
+
+
+def database_staleness(root, db_path, db):
+    """List of reasons compile_commands.json can no longer be trusted, empty
+    when it is fresh.
+
+    Two signals, both of which have bitten in practice:
+      * mtime — some CMakeLists.txt was edited after the last configure.
+        Targets, sources, or flags may have changed; tidying the old command
+        lines silently checks the wrong build.
+      * coverage — a first-party .cpp/.cc on disk has no database entry: a
+        source was added (or a target dropped) without re-configuring, so a
+        "clean" run never looked at it.
+    """
+    reasons = []
+    db_mtime = os.path.getmtime(db_path)
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if not d.startswith(".") and d != "build"
+                             and not os.path.isfile(
+                                 os.path.join(root, d, "CMakeCache.txt")))
+        for fn in filenames:
+            if fn == "CMakeLists.txt":
+                full = os.path.join(dirpath, fn)
+                if os.path.getmtime(full) > db_mtime:
+                    reasons.append(
+                        f"{os.path.relpath(full, root)} is newer than "
+                        "compile_commands.json")
+    covered = {os.path.realpath(e["file"]) for e in db}
+    for tree in FIRST_PARTY_DIRS:
+        top = os.path.join(root, tree)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith((".cpp", ".cc")):
+                    full = os.path.realpath(os.path.join(dirpath, fn))
+                    if full not in covered:
+                        reasons.append(
+                            f"{os.path.relpath(full, root)} has no database "
+                            "entry")
+    return reasons
 
 
 def tidy_one(args):
@@ -100,7 +157,16 @@ def main():
         print(msg)
         return 0
 
-    db = load_database(args.build_dir)
+    db, db_path = load_database(args.build_dir)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    stale = database_staleness(root, db_path, db)
+    if stale:
+        for r in stale:
+            print(f"run_tidy: stale database: {r}", file=sys.stderr)
+        print("run_tidy: compile_commands.json is out of date — re-run "
+              f"`cmake -B {args.build_dir} -S .` and retry", file=sys.stderr)
+        return 2
+
     sources = sorted({e["file"] for e in db if FIRST_PARTY_RE.search(e["file"])})
     if args.files:
         wanted = {os.path.abspath(f) for f in args.files}
